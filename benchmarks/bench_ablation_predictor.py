@@ -1,0 +1,87 @@
+"""Ablations around the §5.1 predictor design choices.
+
+The paper deliberately ships the simplest predictor to establish a floor
+and calls better predictors future work; these sweeps chart the nearby
+design space: confidence threshold, table size, spare-port bandwidth,
+commit-only vs (insecure) execute-time training, and the per-instance
+aging interpretation of "predict the current instance".
+"""
+
+import pytest
+
+from repro.harness.ablations import (
+    compare_training_policy,
+    format_sweep,
+    sweep_confidence_threshold,
+    sweep_load_ports,
+    sweep_predictor_entries,
+)
+
+from conftest import MEASURE, WARMUP, write_output
+
+BENCH = "libquantum"   # the paper's AP standout (training/ports sweeps)
+MIXED = "bzip2"        # partially-regular gather: threshold/size headroom
+
+
+def test_bench_confidence_threshold(benchmark):
+    results = benchmark.pedantic(
+        lambda: sweep_confidence_threshold(
+            MIXED, thresholds=(0, 1, 2, 4), warmup=WARMUP, measure=MEASURE
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    write_output(
+        "ablation_confidence_threshold", format_sweep(results, "threshold")
+    )
+    # A very high threshold must reduce coverage relative to the default.
+    assert results[4].stats.coverage <= results[0].stats.coverage + 1e-9
+
+
+def test_bench_predictor_entries(benchmark):
+    results = benchmark.pedantic(
+        lambda: sweep_predictor_entries(
+            MIXED, entries=(64, 1024), warmup=WARMUP, measure=MEASURE
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    write_output("ablation_predictor_entries", format_sweep(results, "entries"))
+    # The kernel has few static loads: even 64 entries suffice — matching
+    # §5.1's point that the structure is cheap.
+    assert results[64].stats.coverage > 0.5
+
+
+def test_bench_load_ports(benchmark):
+    results = benchmark.pedantic(
+        lambda: sweep_load_ports(
+            BENCH, ports=(1, 3), warmup=WARMUP, measure=MEASURE
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    write_output("ablation_load_ports", format_sweep(results, "ports"))
+    # Doppelgangers use spare ports: a port-starved core issues fewer.
+    assert results[1].stats.dl_issued <= results[3].stats.dl_issued
+
+
+def test_bench_training_policy(benchmark):
+    results = benchmark.pedantic(
+        lambda: compare_training_policy(BENCH, warmup=WARMUP, measure=MEASURE),
+        rounds=1,
+        iterations=1,
+    )
+    commit = results["commit"].stats
+    execute = results["execute"].stats
+    lines = [
+        f"{'policy':<12}{'IPC':>8}{'coverage':>10}{'accuracy':>10}",
+        "-" * 40,
+        f"{'commit':<12}{commit.ipc:>8.3f}{commit.coverage:>9.1%}{commit.accuracy:>9.1%}",
+        f"{'execute*':<12}{execute.ipc:>8.3f}{execute.coverage:>9.1%}{execute.accuracy:>9.1%}",
+        "* train-at-execute is INSECURE (observes speculative addresses);",
+        "  shown only to price the commit-only security requirement.",
+    ]
+    write_output("ablation_training_policy", "\n".join(lines))
+    # Commit-only training must not be catastrophically worse — the
+    # paper's design relies on it being affordable.
+    assert commit.ipc > execute.ipc * 0.7

@@ -1,0 +1,38 @@
+"""§7 'Unsafe Baseline + Address Prediction'.
+
+The paper reports a geomean improvement of only ~0.5% when enabling
+address prediction on the *unsafe* baseline — AP's value lies in
+recovering security-constrained MLP, not in accelerating a conventional
+out-of-order core.
+"""
+
+import pytest
+
+from repro.harness.experiments import unsafe_ap_delta
+
+from conftest import write_output
+
+
+@pytest.fixture(scope="module")
+def delta(session, benchmarks):
+    return unsafe_ap_delta(session, benchmarks=benchmarks)
+
+
+def test_bench_regenerate_unsafe_ap(benchmark, session, benchmarks):
+    result = benchmark.pedantic(
+        lambda: unsafe_ap_delta(session, benchmarks=benchmarks),
+        rounds=1,
+        iterations=1,
+    )
+    write_output("unsafe_ap_delta", result.format_table())
+
+
+class TestUnsafeAPShape:
+    def test_gain_is_modest(self, delta):
+        """The geomean gain on the baseline must be small — far below the
+        4.6-5.5pp the secure schemes gain."""
+        assert -0.02 < delta.gmean_gain < 0.10
+
+    def test_no_benchmark_catastrophically_hurt(self, delta):
+        for name, value in delta.per_benchmark.items():
+            assert value > 0.9, f"AP crippled the baseline on {name}"

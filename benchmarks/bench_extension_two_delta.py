@@ -1,0 +1,68 @@
+"""Extension: a two-delta address predictor (the paper's future work).
+
+§5.1 and §9 note that the paper deliberately uses the simplest predictor
+and that "the potential to further improve performance by using a more
+advanced address predictor is left for future work".  This bench takes
+one step along that path: the classic two-delta stride scheme, which
+survives isolated irregular accesses, compared on the benchmarks whose
+predictions the baseline table struggles with.
+"""
+
+import pytest
+
+from repro.common.config import PredictorConfig, SystemConfig
+from repro.common.stats import geomean
+from repro.harness.runner import run_benchmark
+
+from conftest import MEASURE, WARMUP, write_output
+
+BENCHES = ("xalancbmk", "xalancbmk_s", "omnetpp", "bzip2", "libquantum")
+TWO_DELTA = SystemConfig(predictor=PredictorConfig(kind="two_delta"))
+
+
+@pytest.fixture(scope="module")
+def comparison():
+    rows = {}
+    for name in BENCHES:
+        base = run_benchmark(name, "unsafe", warmup=WARMUP, measure=MEASURE)
+        plain = run_benchmark(name, "dom+ap", warmup=WARMUP, measure=MEASURE)
+        robust = run_benchmark(
+            name, "dom+ap", config=TWO_DELTA, warmup=WARMUP, measure=MEASURE
+        )
+        rows[name] = {
+            "plain_ipc": plain.ipc / base.ipc,
+            "robust_ipc": robust.ipc / base.ipc,
+            "plain_acc": plain.stats.accuracy,
+            "robust_acc": robust.stats.accuracy,
+        }
+    return rows
+
+
+def _render(rows) -> str:
+    header = (
+        f"{'benchmark':<14}{'stride IPC':>11}{'2delta IPC':>11}"
+        f"{'stride acc':>11}{'2delta acc':>11}"
+    )
+    lines = [header, "-" * len(header)]
+    for name, row in rows.items():
+        lines.append(
+            f"{name:<14}{row['plain_ipc']:>11.3f}{row['robust_ipc']:>11.3f}"
+            f"{row['plain_acc']:>10.1%}{row['robust_acc']:>10.1%}"
+        )
+    return "\n".join(lines)
+
+
+def test_bench_two_delta(benchmark, comparison):
+    benchmark.pedantic(lambda: _render(comparison), rounds=1, iterations=1)
+    write_output("extension_two_delta", _render(comparison))
+
+
+class TestTwoDeltaShape:
+    def test_no_regression_on_regular_streams(self, comparison):
+        row = comparison["libquantum"]
+        assert row["robust_ipc"] >= row["plain_ipc"] * 0.97
+
+    def test_geomean_not_worse(self, comparison):
+        plain = geomean(r["plain_ipc"] for r in comparison.values())
+        robust = geomean(r["robust_ipc"] for r in comparison.values())
+        assert robust >= plain * 0.97

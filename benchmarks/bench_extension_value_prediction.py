@@ -1,0 +1,80 @@
+"""Extension: DoM + value prediction vs DoM + Doppelganger Loads.
+
+The paper motivates address prediction by the failure of the original
+DoM paper's value-prediction optimization (§2.3) and closes with
+"addresses are easier to predict than values" (§8).  This bench runs
+that comparison across the suite's memory-bound benchmarks: DoM alone,
+DoM+VP (commit-trained stride value predictor, in-order validation,
+squash on mismatch), and DoM+AP.
+"""
+
+import pytest
+
+from repro.common.stats import geomean
+from repro.harness.runner import run_benchmark
+
+from conftest import MEASURE, WARMUP, write_output
+
+BENCHES = ("libquantum", "lbm", "hmmer", "bzip2", "mcf", "omnetpp", "GemsFDTD")
+
+
+@pytest.fixture(scope="module")
+def comparison():
+    rows = {}
+    for name in BENCHES:
+        base = run_benchmark(name, "unsafe", warmup=WARMUP, measure=MEASURE)
+        row = {}
+        for scheme in ("dom", "dom+vp", "dom+ap"):
+            result = run_benchmark(name, scheme, warmup=WARMUP, measure=MEASURE)
+            row[scheme] = result.ipc / base.ipc
+            if scheme == "dom+vp":
+                row["vp_stats"] = (
+                    result.stats.vp_predictions,
+                    result.stats.vp_correct,
+                    result.stats.vp_squashes,
+                )
+        rows[name] = row
+    return rows
+
+
+def _render(rows) -> str:
+    header = (
+        f"{'benchmark':<12}{'dom':>8}{'dom+vp':>9}{'dom+ap':>9}"
+        f"{'vp pred/ok/squash':>20}"
+    )
+    lines = [header, "-" * len(header)]
+    for name, row in rows.items():
+        pred, ok, squash = row["vp_stats"]
+        lines.append(
+            f"{name:<12}{row['dom']:>8.3f}{row['dom+vp']:>9.3f}"
+            f"{row['dom+ap']:>9.3f}{f'{pred}/{ok}/{squash}':>20}"
+        )
+    lines.append("-" * len(header))
+    for scheme in ("dom", "dom+vp", "dom+ap"):
+        lines.append(
+            f"{'GMEAN ' + scheme:<12}"
+            f"{geomean(row[scheme] for row in rows.values()):>8.3f}"
+        )
+    return "\n".join(lines)
+
+
+def test_bench_vp_vs_ap(benchmark, comparison):
+    benchmark.pedantic(lambda: _render(comparison), rounds=1, iterations=1)
+    write_output("extension_value_prediction", _render(comparison))
+
+
+class TestVPvsAPShape:
+    def test_ap_beats_vp_overall(self, comparison):
+        """The paper's core comparative claim."""
+        vp = geomean(row["dom+vp"] for row in comparison.values())
+        ap = geomean(row["dom+ap"] for row in comparison.values())
+        assert ap > vp
+
+    def test_ap_beats_vp_on_the_standout(self, comparison):
+        assert comparison["libquantum"]["dom+ap"] > comparison["libquantum"]["dom+vp"]
+
+    def test_vp_never_catastrophic(self, comparison):
+        """In-order validation bounds VP's damage: wrong predictions cost
+        squashes but cannot corrupt state or dramatically undercut DoM."""
+        for name, row in comparison.items():
+            assert row["dom+vp"] > row["dom"] * 0.75, name

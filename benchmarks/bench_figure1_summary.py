@@ -1,0 +1,51 @@
+"""Figure 1 / §7 headline: geomean performance and slowdown reduction.
+
+Regenerates the summary the paper leads with — NDA-P 88.7→93.5%, STT
+90.5→95.1%, DoM 81.8→87.3% of baseline, slowdown reductions 42%/48%/30% —
+and prints measured-vs-paper side by side.
+"""
+
+import pytest
+
+from repro.harness.experiments import figure1_summary
+
+from conftest import write_output
+
+
+@pytest.fixture(scope="module")
+def summary(session, benchmarks):
+    return figure1_summary(session, benchmarks=benchmarks)
+
+
+def test_bench_regenerate_figure1(benchmark, session, benchmarks):
+    result = benchmark.pedantic(
+        lambda: figure1_summary(session, benchmarks=benchmarks),
+        rounds=1,
+        iterations=1,
+    )
+    write_output("figure1_summary", result.format_table())
+
+
+class TestHeadlineShape:
+    def test_scheme_ordering_matches_paper(self, summary):
+        """DoM slowest, STT fastest, NDA-P between (paper ordering)."""
+        gmean = summary.gmean
+        assert gmean["dom"] < gmean["nda"] <= gmean["stt"]
+
+    def test_ap_ordering_preserved(self, summary):
+        gmean = summary.gmean
+        assert gmean["dom+ap"] < gmean["stt+ap"]
+
+    def test_all_reductions_positive(self, summary):
+        for scheme, reduction in summary.slowdown_reduction.items():
+            assert reduction > 0.05, f"{scheme}: AP recovered almost nothing"
+
+    def test_dom_reduction_in_paper_band(self, summary):
+        """The paper reports 30.3% for DoM; accept a generous band around
+        it — the substrate is a different simulator."""
+        assert 0.15 < summary.slowdown_reduction["dom"] < 0.85
+
+    def test_gmeans_in_plausible_bands(self, summary):
+        for scheme in ("nda", "stt", "dom"):
+            assert 0.6 < summary.gmean[scheme] < 1.0
+            assert summary.gmean[f"{scheme}+ap"] <= 1.05

@@ -1,0 +1,77 @@
+"""Figure 6: normalized IPC of NDA-P, STT, and DoM ± Doppelganger Loads.
+
+Regenerates the paper's central figure: per-benchmark IPC normalized to
+the unsafe baseline across the six secure configurations, plus the GMEAN
+bars, and asserts the qualitative shape the paper reports.
+"""
+
+import pytest
+
+from repro.harness.experiments import figure6_normalized_ipc
+
+from conftest import write_output
+
+
+@pytest.fixture(scope="module")
+def figure6(session, benchmarks):
+    return figure6_normalized_ipc(session, benchmarks=benchmarks)
+
+
+def test_bench_regenerate_figure6(benchmark, session, benchmarks):
+    result = benchmark.pedantic(
+        lambda: figure6_normalized_ipc(session, benchmarks=benchmarks),
+        rounds=1,
+        iterations=1,
+    )
+    write_output("figure6_normalized_ipc", result.format_table())
+
+
+class TestFigure6Shape:
+    """The paper's qualitative claims, asserted on the regenerated data."""
+
+    def test_every_scheme_slower_than_baseline_on_average(self, figure6):
+        for scheme in ("nda", "stt", "dom"):
+            assert figure6.gmean[scheme] < 1.0
+
+    def test_dom_has_largest_slowdown(self, figure6):
+        assert figure6.gmean["dom"] < figure6.gmean["nda"]
+        assert figure6.gmean["dom"] < figure6.gmean["stt"]
+
+    def test_stt_has_least_slowdown(self, figure6):
+        assert figure6.gmean["stt"] >= figure6.gmean["nda"]
+
+    def test_ap_improves_every_scheme(self, figure6):
+        for scheme in ("nda", "stt", "dom"):
+            assert figure6.gmean[f"{scheme}+ap"] > figure6.gmean[scheme]
+
+    def test_nda_with_ap_outpaces_plain_stt(self, figure6):
+        """§7: 'the simpler NDA-P with address prediction outpaces the
+        more complex STT'."""
+        assert figure6.gmean["nda+ap"] > figure6.gmean["stt"]
+
+    def test_libquantum_is_the_standout(self, figure6):
+        """libquantum: DoM collapses, AP recovers a large fraction."""
+        row = figure6.rows["libquantum"]
+        assert row["dom"] < 0.6
+        assert row["dom+ap"] > row["dom"] * 1.5
+
+    def test_mcf_sees_little_ap_benefit(self, figure6):
+        row = figure6.rows["mcf"]
+        for scheme in ("nda", "stt", "dom"):
+            assert row[f"{scheme}+ap"] == pytest.approx(row[scheme], abs=0.03)
+
+    def test_xalancbmk_s_dom_ap_slowdown(self, figure6):
+        """§7: xalancbmk_s loses performance under DoM+AP (L1 flooding
+        from low-accuracy predictions)."""
+        row = figure6.rows["xalancbmk_s"]
+        assert row["dom+ap"] <= row["dom"] + 0.005
+
+    def test_most_spec2017_overheads_low(self, figure6):
+        """§7: 'the default schemes already have a low overhead' on most
+        of the CPU2017 suite."""
+        low_overhead = [
+            name
+            for name in ("x264_s", "deepsjeng_s", "leela_s", "exchange2_s", "wrf_s")
+            if figure6.rows[name]["stt"] > 0.95
+        ]
+        assert len(low_overhead) >= 4

@@ -1,0 +1,62 @@
+"""Figure 8: normalized L1 (upper) and L2 (lower) cache accesses.
+
+Regenerates both panels and asserts the paper's traffic claims: AP adds
+L1 traffic where predictions are wrong; correct far predictions do not
+inflate L2 traffic; xalancbmk floods the L1.
+"""
+
+import pytest
+
+from repro.harness.experiments import figure8_cache_traffic
+
+from conftest import write_output
+
+
+@pytest.fixture(scope="module")
+def figure8(session, benchmarks):
+    return figure8_cache_traffic(session, benchmarks=benchmarks)
+
+
+def test_bench_regenerate_figure8(benchmark, session, benchmarks):
+    result = benchmark.pedantic(
+        lambda: figure8_cache_traffic(session, benchmarks=benchmarks),
+        rounds=1,
+        iterations=1,
+    )
+    write_output("figure8_cache_traffic", result.format_table())
+
+
+class TestFigure8Shape:
+    def test_all_ratios_positive(self, figure8):
+        for table in (figure8.l1, figure8.l2):
+            for row in table.values():
+                for value in row.values():
+                    assert value > 0
+
+    def test_xalancbmk_ap_floods_l1(self, figure8):
+        """§7: xalancbmk's low accuracy causes a noteworthy L1 traffic
+        increase with AP."""
+        row = figure8.l1["xalancbmk"]
+        assert row["dom+ap"] > row["dom"] * 1.05
+
+    def test_streaming_ap_does_not_inflate_l2(self, figure8):
+        """§7 (bzip2/gcc discussion): accurate address-predicted loads to
+        the lower hierarchy mean no increase in L2 accesses."""
+        for name in ("libquantum", "hmmer"):
+            row = figure8.l2[name]
+            assert row["stt+ap"] < row["stt"] * 1.25, name
+
+    def test_dom_l1_traffic_elevated_by_reissues(self, figure8):
+        """DoM probes every speculative load and re-issues delayed misses,
+        so its L1 access count exceeds the baseline's on miss-heavy
+        streaming workloads."""
+        assert figure8.l1["libquantum"]["dom"] > 1.02
+
+    def test_mcf_traffic_unchanged_by_ap(self, figure8):
+        """No predictions -> no extra traffic."""
+        assert figure8.l1["mcf"]["dom+ap"] == pytest.approx(
+            figure8.l1["mcf"]["dom"], rel=0.05
+        )
+        assert figure8.l2["mcf"]["dom+ap"] == pytest.approx(
+            figure8.l2["mcf"]["dom"], rel=0.10
+        )

@@ -1,0 +1,85 @@
+"""Table 1: the system configuration.
+
+Regenerates (and asserts) the paper's Table 1 from the default
+configuration, and measures how fast a full system can be constructed —
+the one benchmark here where wall-clock time is actually the product.
+"""
+
+from repro.common.config import default_config
+from repro.pipeline.core import Core
+from repro.schemes import make_scheme
+from repro.workloads.kernels import stream_kernel
+
+from conftest import write_output
+
+
+def render_table1() -> str:
+    cfg = default_config()
+    rows = [
+        ("Decode width", f"{cfg.core.decode_width} instructions"),
+        ("Issue / Commit width",
+         f"{cfg.core.issue_width} / {cfg.core.commit_width} instructions"),
+        ("Instruction queue", f"{cfg.core.iq_entries} entries"),
+        ("Reorder buffer", f"{cfg.core.rob_entries} entries"),
+        ("Load queue", f"{cfg.core.lq_entries} entries"),
+        ("Store queue/buffer", f"{cfg.core.sq_entries} entries"),
+        ("Address predictor/prefetcher",
+         f"{cfg.predictor.entries} entries, {cfg.predictor.ways}-way"),
+        ("L1 D cache",
+         f"{cfg.memory.l1.size_bytes // 1024}KiB, {cfg.memory.l1.ways} ways, "
+         f"{cfg.memory.l1.latency} cycles, {cfg.memory.l1.mshrs} MSHRs"),
+        ("Private L2 cache",
+         f"{cfg.memory.l2.size_bytes // (1024 * 1024)}MiB, "
+         f"{cfg.memory.l2.ways} ways, {cfg.memory.l2.latency} cycles"),
+        ("Shared L3 cache",
+         f"{cfg.memory.l3.size_bytes // (1024 * 1024)}MiB, "
+         f"{cfg.memory.l3.ways} ways, {cfg.memory.l3.latency} cycles"),
+        ("Memory access time", f"{cfg.memory.dram_latency} cycles"),
+    ]
+    width = max(len(label) for label, _ in rows) + 2
+    return "\n".join(f"{label:<{width}}{value}" for label, value in rows)
+
+
+def test_table1_matches_paper(benchmark):
+    """Asserts Table 1 and writes its rendered form.
+
+    Uses the benchmark fixture (construction cost) so the table is also
+    regenerated under ``--benchmark-only``.
+    """
+    benchmark.pedantic(default_config, rounds=3, iterations=1)
+    cfg = default_config()
+    assert cfg.core.decode_width == 5
+    assert cfg.core.issue_width == 8
+    assert cfg.core.commit_width == 8
+    assert cfg.core.iq_entries == 160
+    assert cfg.core.rob_entries == 352
+    assert cfg.core.lq_entries == 128
+    assert cfg.core.sq_entries == 72
+    assert cfg.predictor.entries == 1024
+    assert cfg.predictor.ways == 8
+    assert cfg.memory.l1.size_bytes == 48 * 1024
+    assert cfg.memory.l1.ways == 12
+    assert cfg.memory.l1.latency == 5
+    assert cfg.memory.l1.mshrs == 16
+    assert cfg.memory.l2.size_bytes == 2 * 1024 * 1024
+    assert cfg.memory.l2.ways == 8
+    assert cfg.memory.l2.latency == 15
+    assert cfg.memory.l3.size_bytes == 16 * 1024 * 1024
+    assert cfg.memory.l3.ways == 16
+    assert cfg.memory.l3.latency == 40
+    write_output("table1_config", render_table1())
+
+
+def test_bench_simulator_throughput(benchmark):
+    """Raw simulator speed: committed instructions per second on a
+    representative workload under the heaviest scheme (DoM+AP)."""
+    program = stream_kernel(
+        iterations=1 << 20, footprint_words=1 << 14, dependent_check=True
+    )
+
+    def run():
+        core = Core(program, make_scheme("dom+ap"))
+        return core.run(max_instructions=4000)
+
+    stats = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert stats.committed_instructions >= 4000

@@ -1,0 +1,51 @@
+"""Shared infrastructure for the figure-regeneration benchmarks.
+
+All figure benches share one memoizing :class:`ExperimentSession` so the
+(benchmark × scheme) sweep is simulated once and every figure is derived
+from it — the same structure as the paper's evaluation scripts.
+
+Environment knobs:
+
+* ``REPRO_BENCH_WARMUP`` / ``REPRO_BENCH_MEASURE`` — instructions per
+  window (defaults 2000 / 8000: minutes, not hours; raise for tighter
+  statistics, e.g. 6000 / 30000 for the numbers in EXPERIMENTS.md).
+* ``REPRO_BENCH_SUITE`` — ``all`` (default), ``spec2006``, ``spec2017``.
+
+Each bench writes its rendered table under ``benchmarks/output/`` so the
+regenerated series can be diffed against EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.harness.runner import ExperimentSession
+from repro.workloads.profiles import benchmark_names
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+WARMUP = int(os.environ.get("REPRO_BENCH_WARMUP", "2000"))
+MEASURE = int(os.environ.get("REPRO_BENCH_MEASURE", "8000"))
+SUITE = os.environ.get("REPRO_BENCH_SUITE", "all")
+
+
+@pytest.fixture(scope="session")
+def session() -> ExperimentSession:
+    return ExperimentSession(warmup=WARMUP, measure=MEASURE)
+
+
+@pytest.fixture(scope="session")
+def benchmarks() -> tuple:
+    return benchmark_names(SUITE)
+
+
+def write_output(name: str, text: str) -> None:
+    """Persist a rendered table and echo it to stdout (-s shows it)."""
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    path = OUTPUT_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    print(f"\n# {name} (warmup={WARMUP}, measure={MEASURE})")
+    print(text)

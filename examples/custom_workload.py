@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Write your own workload and victim code for the simulator.
+
+Demonstrates the two program-construction front-ends:
+
+* the assembler — readable text for small kernels and gadgets;
+* the CodeBuilder — programmatic generation with labels and memory
+  images, the same API the SPEC stand-ins use.
+
+The example builds a binary-search kernel (a branch-heavy, data-dependent
+workload that none of the stock kernels model), checks it against the
+in-order reference interpreter, and compares schemes on it.
+
+Run:  python examples/custom_workload.py
+"""
+
+import random
+
+from repro import Program, assemble, simulate
+from repro.isa.builder import CodeBuilder
+
+TABLE_BASE = 0x0040_0000
+KEYS_BASE = 0x0020_0000
+
+
+def assembler_demo() -> None:
+    source = """
+        # sum of first 100 integers, stored at address 8
+        li   r1, 100
+        li   r2, 0
+        li   r3, 0
+    loop:
+        add  r3, r3, r2
+        addi r2, r2, 1
+        blt  r2, r1, loop
+        store r3, [r0 + 8]
+        halt
+    """
+    program = Program(assemble(source), name="assembler_demo")
+    stats = simulate(program, scheme="unsafe")
+    reference = program.interpret()
+    print(
+        f"assembler demo: sum={reference.state.read_mem(8)} "
+        f"(simulated in {stats.cycles} cycles, IPC {stats.ipc:.2f})"
+    )
+
+
+def binary_search_program(table_words: int = 1 << 12, searches: int = 1 << 16) -> Program:
+    """Repeated binary search over a sorted table: log2(n) dependent loads
+    and data-dependent branches per query — hard on every secure scheme,
+    nearly opaque to a stride predictor."""
+    rng = random.Random(7)
+    builder = CodeBuilder()
+    table = sorted(rng.sample(range(1 << 24), table_words))
+    builder.set_array(TABLE_BASE, table)
+    for i in range(1 << 10):
+        builder.set_memory(KEYS_BASE + 8 * i, rng.choice(table))
+    builder.li(1, searches)
+    builder.li(2, 0)              # query counter
+    builder.li(3, 0)              # found-sum accumulator
+    builder.li(10, TABLE_BASE)
+    builder.label("query")
+    builder.andi(16, 2, (1 << 10) * 8 - 8)
+    builder.addi(16, 16, KEYS_BASE)
+    builder.load(4, 16)           # key
+    builder.li(5, 0)              # lo
+    builder.li(6, table_words)    # hi
+    builder.label("bisect")
+    builder.sub(7, 6, 5)
+    builder.shri(7, 7, 1)
+    builder.add(7, 5, 7)          # mid = lo + (hi - lo) / 2
+    builder.shli(8, 7, 3)
+    builder.add(8, 10, 8)
+    builder.load(9, 8)            # table[mid] — dependent, unpredictable
+    builder.bge(4, 9, "go_right")
+    builder.mov(6, 7)             # hi = mid
+    builder.jmp("check")
+    builder.label("go_right")
+    builder.addi(5, 7, 1)         # lo = mid + 1
+    builder.add(3, 3, 9)
+    builder.label("check")
+    builder.blt(5, 6, "bisect")
+    builder.addi(2, 2, 1)
+    builder.blt(2, 1, "query")
+    builder.store(3, 0, disp=8)
+    builder.halt()
+    return builder.build(name="binary_search")
+
+
+def main() -> None:
+    assembler_demo()
+    program = binary_search_program()
+    print("\nbinary search under each scheme (10k instructions measured):")
+    print(f"{'scheme':<10}{'IPC':>8}{'coverage':>10}{'accuracy':>10}")
+    print("-" * 38)
+    baseline = None
+    for scheme in ("unsafe", "nda", "stt", "dom", "dom+ap"):
+        stats = simulate(program, scheme=scheme, max_instructions=10_000)
+        if baseline is None:
+            baseline = stats.ipc
+        print(
+            f"{scheme:<10}{stats.ipc:>8.3f}"
+            f"{stats.coverage:>9.1%}{stats.accuracy:>9.1%}"
+        )
+    print(
+        "\nBinary search chases data-dependent addresses: the predictor "
+        "covers almost nothing, so this is a workload where Doppelganger "
+        "Loads honestly cannot help — exactly the mcf-shaped corner of "
+        "Figure 6."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+#!/usr/bin/env python3
+"""Quickstart: simulate one workload under every scheme.
+
+Builds the libquantum stand-in (the paper's address-prediction standout),
+runs it on the out-of-order core under the unsafe baseline, the three
+secure speculation schemes, and their Doppelganger-enhanced variants, and
+prints normalized performance — a one-benchmark slice of Figure 6.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import simulate
+from repro.workloads import build_workload
+
+WARMUP_AND_MEASURE = 12_000
+SCHEMES = ("unsafe", "nda", "nda+ap", "stt", "stt+ap", "dom", "dom+ap")
+
+
+def main() -> None:
+    program = build_workload("libquantum")
+    print(f"workload: {program.name}  ({len(program)} static instructions)")
+    print(f"{'scheme':<10}{'IPC':>8}{'vs unsafe':>12}{'coverage':>10}{'accuracy':>10}")
+    print("-" * 50)
+    baseline_ipc = None
+    for scheme in SCHEMES:
+        stats = simulate(
+            build_workload("libquantum"),
+            scheme=scheme,
+            max_instructions=WARMUP_AND_MEASURE,
+        )
+        if baseline_ipc is None:
+            baseline_ipc = stats.ipc
+        print(
+            f"{scheme:<10}{stats.ipc:>8.3f}{stats.ipc / baseline_ipc:>11.1%}"
+            f"{stats.coverage:>9.1%}{stats.accuracy:>9.1%}"
+        )
+    print(
+        "\nDelay-on-Miss pays the most on this streaming workload; "
+        "Doppelganger Loads (the +ap rows) recover most of the loss by "
+        "issuing address-predicted accesses while the real loads are "
+        "still blocked."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Spectre v1 against every scheme — the security half of the paper.
+
+Runs the classic universal-read gadget (train a bounds check, transiently
+read out of bounds, transmit through a probe-array load) against the
+unsafe baseline and the three secure speculation schemes, each with and
+without Doppelganger Loads, then demonstrates the Figure 4 implicit
+channel and why DoM+AP's in-order branch resolution is load-bearing.
+
+Run:  python examples/spectre_demo.py
+"""
+
+from repro.attacks import (
+    InsecureDoMAPWithoutInOrderBranches,
+    dom_implicit_channel,
+    noninterference_check,
+    run_attack,
+    snapshots_equal,
+    spectre_v1,
+)
+
+SCHEMES = (
+    "unsafe",
+    "unsafe+ap",
+    "nda",
+    "nda+ap",
+    "stt",
+    "stt+ap",
+    "dom",
+    "dom+ap",
+)
+
+
+def spectre_round() -> None:
+    secret = 11
+    print(f"=== Spectre v1: victim secret is {secret} ===")
+    print(f"{'scheme':<12}{'verdict':<10}{'attacker inferred':>18}")
+    print("-" * 40)
+    for scheme in SCHEMES:
+        outcome = run_attack(spectre_v1(secret_value=secret), scheme)
+        verdict = "LEAKED" if outcome.leaked else "safe"
+        print(f"{scheme:<12}{verdict:<10}{str(outcome.inferred):>18}")
+    print(
+        "\nOnly the unsafe baseline leaks; adding Doppelganger Loads to a "
+        "secure scheme never re-opens the channel (threat-model "
+        "transparency, paper §4.2).\n"
+    )
+
+
+def figure4_round() -> None:
+    print("=== Figure 4: secret-dependent branch steering two predicted loads ===")
+    print(f"{'configuration':<34}{'non-interference':>18}")
+    print("-" * 52)
+    for label, scheme in [
+        ("unsafe baseline", "unsafe"),
+        ("DoM", "dom"),
+        ("DoM + Doppelganger Loads", "dom+ap"),
+        ("STT + Doppelganger Loads", "stt+ap"),
+    ]:
+        snaps = noninterference_check(
+            lambda secret: dom_implicit_channel(secret), scheme, secrets=(0, 1)
+        )
+        verdict = "holds" if snapshots_equal(snaps) else "VIOLATED"
+        print(f"{label:<34}{verdict:>18}")
+    snaps = noninterference_check(
+        lambda secret: dom_implicit_channel(secret),
+        InsecureDoMAPWithoutInOrderBranches(address_prediction=True),
+        secrets=(0, 1),
+    )
+    verdict = "holds" if snapshots_equal(snaps) else "VIOLATED"
+    print(f"{'DoM+AP minus in-order branches':<34}{verdict:>18}")
+    print(
+        "\nThe last row removes §4.6's in-order branch-resolution rule: the "
+        "secret-dependent branch then resolves transiently and steers "
+        "which doppelganger access appears — the exact implicit channel "
+        "the paper closes."
+    )
+
+
+if __name__ == "__main__":
+    spectre_round()
+    figure4_round()

@@ -1,0 +1,8 @@
+"""Setup shim: enables legacy editable installs (``--no-use-pep517``)
+in offline environments that lack the ``wheel`` package.  All project
+metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

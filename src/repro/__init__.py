@@ -1,0 +1,95 @@
+"""Doppelganger Loads (ISCA 2023) — a full-system reproduction in Python.
+
+The package implements the paper's entire stack from scratch:
+
+* an execution-driven out-of-order core with transient (wrong-path)
+  execution (:mod:`repro.pipeline`),
+* a three-level cache hierarchy with MSHRs (:mod:`repro.memory`),
+* the three secure speculation schemes the paper evaluates — NDA-P, STT,
+  and Delay-on-Miss (:mod:`repro.schemes`),
+* the Doppelganger Load engine and its shared stride predictor
+  (:mod:`repro.doppelganger`, :mod:`repro.predictors`),
+* Spectre-style attack gadgets and a leakage harness
+  (:mod:`repro.attacks`),
+* SPEC-like synthetic workloads (:mod:`repro.workloads`), and
+* the experiment harness regenerating every figure and table
+  (:mod:`repro.harness`).
+
+Quickstart::
+
+    from repro import simulate
+    from repro.workloads import build_workload
+
+    program = build_workload("libquantum")
+    result = simulate(program, scheme="dom+ap", max_instructions=20_000)
+    print(result.summary())
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from repro.common import (
+    SimStats,
+    SystemConfig,
+    default_config,
+    geomean,
+    small_config,
+)
+from repro.isa import CodeBuilder, Instruction, Opcode, Program, assemble
+from repro.memory import MemoryHierarchy
+from repro.pipeline import Core
+from repro.schemes import SCHEME_NAMES, SecureScheme, make_scheme
+
+__version__ = "1.0.0"
+
+
+def simulate(
+    program: Program,
+    scheme: Union[str, SecureScheme] = "unsafe",
+    config: Optional[SystemConfig] = None,
+    max_instructions: Optional[int] = None,
+) -> SimStats:
+    """Run ``program`` under a scheme and return the collected statistics.
+
+    ``scheme`` may be a name (``"unsafe"``, ``"nda"``, ``"stt"``, ``"dom"``,
+    optionally with a ``"+ap"`` suffix for Doppelganger Loads) or an
+    already-built :class:`~repro.schemes.SecureScheme` instance.
+    """
+    if isinstance(scheme, str):
+        scheme = make_scheme(scheme)
+    core = Core(program, scheme, config=config)
+    return core.run(max_instructions=max_instructions)
+
+
+def build_core(
+    program: Program,
+    scheme: Union[str, SecureScheme] = "unsafe",
+    config: Optional[SystemConfig] = None,
+) -> Core:
+    """Construct a core without running it (for stepping/introspection)."""
+    if isinstance(scheme, str):
+        scheme = make_scheme(scheme)
+    return Core(program, scheme, config=config)
+
+
+__all__ = [
+    "CodeBuilder",
+    "Core",
+    "Instruction",
+    "MemoryHierarchy",
+    "Opcode",
+    "Program",
+    "SCHEME_NAMES",
+    "SecureScheme",
+    "SimStats",
+    "SystemConfig",
+    "assemble",
+    "build_core",
+    "default_config",
+    "geomean",
+    "make_scheme",
+    "simulate",
+    "small_config",
+    "__version__",
+]

@@ -1,0 +1,42 @@
+"""Attack gadgets, cache observation, and the leakage harness."""
+
+from repro.attacks.gadgets import (
+    ARRAY1_BASE,
+    Gadget,
+    PROBE_BASE,
+    SECRET_X_ADDR,
+    SECRET_Y_ADDR,
+    dom_implicit_channel,
+    spectre_v1,
+    store_forward_probe,
+)
+from repro.attacks.harness import (
+    AttackOutcome,
+    noninterference_check,
+    run_attack,
+    snapshots_equal,
+)
+from repro.attacks.observer import PROBE_LINE_STRIDE, CacheObserver
+from repro.attacks.variants import (
+    InsecureDoMAPEagerMispredictReissue,
+    InsecureDoMAPWithoutInOrderBranches,
+)
+
+__all__ = [
+    "ARRAY1_BASE",
+    "AttackOutcome",
+    "CacheObserver",
+    "Gadget",
+    "InsecureDoMAPEagerMispredictReissue",
+    "InsecureDoMAPWithoutInOrderBranches",
+    "PROBE_BASE",
+    "PROBE_LINE_STRIDE",
+    "SECRET_X_ADDR",
+    "SECRET_Y_ADDR",
+    "dom_implicit_channel",
+    "noninterference_check",
+    "run_attack",
+    "snapshots_equal",
+    "spectre_v1",
+    "store_forward_probe",
+]

@@ -1,0 +1,288 @@
+"""Attack gadget programs.
+
+Each builder returns a :class:`Gadget`: the micro-ISA program plus the
+metadata the harness needs (probe layout, lines to pre-warm, what counts
+as training noise).  The gadgets are executable statements of the paper's
+security discussion:
+
+* :func:`spectre_v1` — the universal read gadget (Figure 1a): train a
+  bounds check, then transiently read out of bounds and transmit the
+  secret through a probe-array load.
+* :func:`dom_implicit_channel` — Figure 4: a secret-dependent branch
+  steering two address-predicted loads, with the secret either loaded
+  speculatively from an L1-resident line (4a) or sitting in a register
+  non-speculatively (4b).  This is the channel DoM+AP must close with
+  in-order branch resolution.
+* :func:`store_forward_probe` — Figure 3: an older store aliasing a
+  doppelganger's predicted address; forwarding must override the preload
+  without making the doppelganger access disappear.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.isa.builder import CodeBuilder
+from repro.isa.program import Program
+from repro.attacks.observer import PROBE_LINE_STRIDE
+
+# Address-space layout for gadgets (disjoint from workload bases).
+SIZE_ADDR = 0x0000_1000
+IDX_BASE = 0x0000_2000
+ARRAY1_BASE = 0x0000_4000
+PROBE_BASE = 0x0004_0000
+SECRET_X_ADDR = 0x0008_0000
+SECRET_Y_ADDR = 0x0008_4000
+SECRET_CELL = 0x000C_0000
+STL_DATA_ADDR = 0x0010_0000
+
+ARRAY1_SIZE_WORDS = 16
+_SLOW_CHAIN_MULS = 22
+"""muli-by-1 chain length delaying bounds-check resolution (the
+transient window: ~3 cycles per multiply — long enough for the nested
+mispredict-redirect chains of the Figure 4 gadgets to play out)."""
+
+
+@dataclass
+class Gadget:
+    """A program plus everything the attack harness needs around it."""
+
+    program: Program
+    probe_base: int = PROBE_BASE
+    probe_values: int = 16
+    secret_value: int = 0
+    secret_address: int = 0
+    training_values: Tuple[int, ...] = ()
+    """Probe values legitimately touched during training (receiver noise)."""
+    warm_addresses: Tuple[int, ...] = ()
+    """Lines the harness pre-warms before the run (clflush's inverse)."""
+    observed_addresses: Tuple[int, ...] = ()
+    """Addresses whose residency a non-interference check compares."""
+    notes: str = ""
+
+
+def _emit_slow_bound(builder: CodeBuilder, bound_reg: int, out_reg: int) -> None:
+    """Copy ``bound_reg`` through a multiply chain: same value, ~40 cycles
+    later — the window in which transient instructions run."""
+    builder.muli(out_reg, bound_reg, 1)
+    for _ in range(_SLOW_CHAIN_MULS - 1):
+        builder.muli(out_reg, out_reg, 1)
+
+
+def spectre_v1(
+    secret_value: int = 5,
+    training_rounds: int = 48,
+    oob_index: int = 64,
+) -> Gadget:
+    """The classic bounds-check-bypass universal read gadget.
+
+    ``array1`` holds zeros; the word at ``array1 + 8 * oob_index`` (out of
+    bounds) holds the secret.  Training rounds use index 0 (in bounds,
+    probe line 0); the final round uses ``oob_index``, whose bounds check
+    fails only after a long dependency chain — by which time, on an unsafe
+    core, the transient loads have already touched
+    ``probe[secret * 64]``.
+    """
+    if not 0 < secret_value < 16:
+        raise ValueError("secret_value must be in 1..15 (line 0 is training noise)")
+    builder = CodeBuilder()
+    builder.set_memory(SIZE_ADDR, ARRAY1_SIZE_WORDS)
+    for i in range(ARRAY1_SIZE_WORDS):
+        builder.set_memory(ARRAY1_BASE + 8 * i, 0)
+    secret_address = ARRAY1_BASE + 8 * oob_index
+    builder.set_memory(secret_address, secret_value)
+    for round_index in range(training_rounds):
+        builder.set_memory(IDX_BASE + 8 * round_index, 0)
+    builder.set_memory(IDX_BASE + 8 * training_rounds, oob_index)
+    total_rounds = training_rounds + 1
+
+    builder.li(15, total_rounds)
+    builder.li(14, 0)                      # round counter
+    builder.li(10, ARRAY1_BASE)
+    builder.li(11, PROBE_BASE)
+    builder.li(20, SIZE_ADDR)
+    builder.label("round")
+    builder.shli(16, 14, 3)
+    builder.add(17, 16, 0)
+    builder.addi(17, 17, IDX_BASE)
+    builder.load(1, 17)                    # idx = idx_array[round]
+    builder.load(2, 20)                    # size
+    _emit_slow_bound(builder, 2, 3)        # r3 = size, slowly
+    builder.bge(1, 3, "skip")              # if idx >= size: skip (trained NT)
+    builder.shli(4, 1, 3)
+    builder.add(5, 10, 4)
+    builder.load(6, 5)                     # array1[idx] — the secret access
+    builder.shli(7, 6, 6)                  # value * 64 (one line per value)
+    builder.add(8, 11, 7)
+    builder.load(9, 8)                     # probe[value * 64] — the transmit
+    builder.label("skip")
+    builder.addi(14, 14, 1)
+    builder.blt(14, 15, "round")
+    builder.halt()
+
+    # The attacker warms everything it legitimately controls (its index
+    # array, the bounds word, the secret's line — as in a classic
+    # flush-probe setup where only the probe array is flushed) so the
+    # transient window is not wasted on the attacker's own cold misses.
+    warm = [secret_address, SIZE_ADDR]
+    warm.extend(IDX_BASE + 8 * r for r in range(0, total_rounds, 8))
+    return Gadget(
+        program=builder.build(name="spectre_v1"),
+        secret_value=secret_value,
+        secret_address=secret_address,
+        training_values=(0,),
+        warm_addresses=tuple(warm),
+        notes="universal read gadget; leak = probe line of the secret value",
+    )
+
+
+def dom_implicit_channel(
+    secret_value: int,
+    register_secret: bool = False,
+    training_rounds: int = 48,
+) -> Gadget:
+    """Figure 4: a secret-dependent branch steering two predictable loads.
+
+    The block runs under a mispredicted (trained) outer bounds check.  The
+    inner branch tests the secret's low bit and selects between loads of
+    two fixed addresses X and Y — both trivially address-predictable, so
+    with Doppelganger Loads each would miss visibly *if issued*.  Whether
+    X's or Y's line appears in the cache would leak the secret bit unless
+    the scheme resolves branches in order (DoM+AP's added rule).
+
+    ``register_secret`` selects Figure 4b: the secret is loaded *before*
+    the speculation, i.e. it sits in a register non-speculatively — the
+    case DoM protects but NDA-P/STT explicitly do not.
+    """
+    builder = CodeBuilder()
+    builder.set_memory(SIZE_ADDR, ARRAY1_SIZE_WORDS)
+    builder.set_memory(SECRET_CELL, secret_value)
+    builder.set_memory(SECRET_X_ADDR, 1111)
+    builder.set_memory(SECRET_Y_ADDR, 2222)
+    for round_index in range(training_rounds):
+        builder.set_memory(IDX_BASE + 8 * round_index, 0)
+    builder.set_memory(IDX_BASE + 8 * training_rounds, ARRAY1_SIZE_WORDS + 1)
+    total_rounds = training_rounds + 1
+    # Training rounds read a zero "secret" from a separate cell so the
+    # inner branch trains on the not-taken path deterministically.
+    training_secret_cell = SECRET_CELL + 8
+    builder.set_memory(training_secret_cell, 0)
+
+    builder.li(15, total_rounds)
+    builder.li(14, 0)
+    builder.li(20, SIZE_ADDR)
+    builder.li(21, SECRET_CELL)
+    builder.li(22, SECRET_X_ADDR)
+    builder.li(23, SECRET_Y_ADDR)
+    builder.li(26, SECRET_CELL)
+    if register_secret:
+        # Fig 4b: the secret is architecturally in r12 before speculation.
+        builder.load(12, 21)
+    builder.label("round")
+    builder.shli(16, 14, 3)
+    builder.addi(16, 16, IDX_BASE)
+    builder.load(1, 16)                    # idx (in bounds while training)
+    builder.load(2, 20)
+    _emit_slow_bound(builder, 2, 3)
+    # X/Y target addresses advance one fresh cache line per round, so the
+    # training rounds' (legitimate) accesses cannot mask the final round's
+    # observation, while the per-PC stride keeps both loads perfectly
+    # address-predictable for the doppelganger engine.
+    builder.shli(24, 14, 6)
+    builder.bge(1, 3, "skip")              # outer: mispredicted on last round
+    # Training runs in two phases keyed off the round counter (attacker
+    # data, never the secret): rounds 0..31 commit the X arm (training
+    # the X load's stride-table entry and biasing the inner branch
+    # not-taken), rounds 32..47 commit the Y arm (training the Y entry
+    # and leaving the inner branch's counter *saturated taken*, so the
+    # final round's transient fetch deterministically follows the Y arm).
+    # The X arm can then only be reached through a secret-dependent
+    # transient branch resolution — the channel Figure 4 describes.
+    builder.beq(1, 0, "train_secret")
+    if register_secret:
+        # Fig 4b: the secret has been in r12 since before speculation.
+        builder.andi(4, 12, 1)
+    else:
+        # Fig 4a: the secret is loaded speculatively; its line is warm so
+        # even DoM lets the access complete (an L1 hit is allowed).
+        builder.load(5, 26)                # r26 holds SECRET_CELL
+        builder.andi(4, 5, 1)
+    builder.jmp("have_pred")
+    builder.label("train_secret")
+    builder.shri(4, 14, 5)                 # 0 for rounds < 32, 1 after
+    builder.xori(4, 4, 1)                  # phase A: 1 (X arm), B: 0 (Y arm)
+    builder.label("have_pred")
+    builder.beq(4, 0, "even")              # inner: secret-dependent
+    builder.add(28, 22, 24)
+    builder.load(6, 28)                    # load X[round]
+    builder.jmp("skip")
+    builder.label("even")
+    builder.add(29, 23, 24)
+    builder.load(7, 29)                    # load Y[round]
+    builder.label("skip")
+    builder.addi(14, 14, 1)
+    builder.blt(14, 15, "round")
+    builder.halt()
+
+    warm: List[int] = [SECRET_CELL, training_secret_cell, SIZE_ADDR]
+    warm.extend(IDX_BASE + 8 * r for r in range(0, total_rounds, 8))
+    # Observe: the final round's X/Y lines (direct transient fills), one
+    # line further (doppelganger predictions land a stride ahead), and
+    # the lines right after the X arm's training phase — that is where a
+    # doppelganger for a transiently-dispatched X load would fall.
+    final_offset = 64 * training_rounds
+    x_phase_end = 64 * 32
+    observed = (
+        SECRET_X_ADDR + final_offset,
+        SECRET_X_ADDR + final_offset + 64,
+        SECRET_X_ADDR + x_phase_end,
+        SECRET_X_ADDR + x_phase_end + 64,
+        SECRET_Y_ADDR + final_offset,
+        SECRET_Y_ADDR + final_offset + 64,
+    )
+    return Gadget(
+        program=builder.build(name="dom_implicit_channel"),
+        secret_value=secret_value,
+        secret_address=SECRET_CELL,
+        warm_addresses=tuple(warm),
+        observed_addresses=observed,
+        notes="Figure 4: X/Y residency must not depend on the secret bit",
+    )
+
+
+def store_forward_probe(store_value: int = 777) -> Gadget:
+    """Figure 3: an older store aliases a younger predictable load.
+
+    The load's PC is trained on a fixed address; in the probed iteration
+    an older store writes that same address while the load's doppelganger
+    is (or could be) in flight.  Correctness requires the load to commit
+    the *store's* value; security (§4.4) requires the doppelganger access
+    to still appear in the memory hierarchy.
+    """
+    builder = CodeBuilder()
+    rounds = 40
+    builder.set_memory(STL_DATA_ADDR, 1)
+    builder.li(15, rounds)
+    builder.li(14, 0)
+    builder.li(10, STL_DATA_ADDR)
+    builder.li(11, store_value)
+    builder.li(3, 0)
+    builder.label("round")
+    # On the last round, store to the address the load will read.
+    builder.addi(16, 14, 1)
+    builder.bne(16, 15, "no_store")
+    builder.store(11, 10)
+    builder.label("no_store")
+    builder.load(5, 10)                    # trained, predictable load
+    builder.add(3, 3, 5)
+    builder.addi(14, 14, 1)
+    builder.blt(14, 15, "round")
+    builder.store(3, 0, disp=8)            # checksum
+    builder.halt()
+    return Gadget(
+        program=builder.build(name="store_forward_probe"),
+        secret_value=store_value,
+        observed_addresses=(STL_DATA_ADDR,),
+        notes="forwarding must override the doppelganger preload",
+    )

@@ -1,0 +1,55 @@
+"""The attacker's measurement apparatus: a flush+probe cache observer.
+
+The observer models the standard cache covert-channel receiver: it knows a
+*probe array* base address and checks, after the victim ran, which probe
+lines became resident.  Residency checks are non-mutating
+(:meth:`repro.memory.MemoryHierarchy.residency`), so observing does not
+disturb the state being observed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.memory.hierarchy import MemoryHierarchy
+
+PROBE_LINE_STRIDE = 64
+"""One value maps to one cache line, as in the original Spectre PoC."""
+
+
+@dataclass
+class CacheObserver:
+    """Watches ``values`` probe lines starting at ``probe_base``."""
+
+    hierarchy: MemoryHierarchy
+    probe_base: int
+    values: int = 16
+    line_stride: int = PROBE_LINE_STRIDE
+
+    def address_of(self, value: int) -> int:
+        return self.probe_base + value * self.line_stride
+
+    def resident_values(self) -> List[int]:
+        """Values whose probe line is cached anywhere in the hierarchy."""
+        return [
+            value
+            for value in range(self.values)
+            if self.hierarchy.is_cached(self.address_of(value))
+        ]
+
+    def snapshot(self, addresses: Sequence[int]) -> Dict[int, Optional[int]]:
+        """Residency level per address (None = uncached); used for
+        non-interference comparisons."""
+        return {address: self.hierarchy.residency(address) for address in addresses}
+
+    def infer_secret(self, exclude: Sequence[int] = ()) -> Optional[int]:
+        """The leaked value, if exactly one non-excluded line is resident.
+
+        ``exclude`` lists values legitimately touched during training so
+        the receiver can subtract its own noise floor.
+        """
+        candidates = [v for v in self.resident_values() if v not in exclude]
+        if len(candidates) == 1:
+            return candidates[0]
+        return None

@@ -1,0 +1,45 @@
+"""Deliberately weakened scheme variants.
+
+These exist to *demonstrate the necessity* of the paper's mitigations: the
+security tests show that the full schemes block an attack while the
+variant with one rule removed leaks.  They must never be used outside
+tests/examples — their names say so.
+"""
+
+from __future__ import annotations
+
+from repro.pipeline.uop import MicroOp
+from repro.schemes.base import READY
+from repro.schemes.dom import DelayOnMiss
+
+
+class InsecureDoMAPWithoutInOrderBranches(DelayOnMiss):
+    """DoM + Doppelganger Loads *without* §4.6's in-order branch rule.
+
+    A secret-dependent branch may then resolve transiently, redirect the
+    wrong-path fetch, and steer which doppelganger's (visible) miss
+    appears — exactly the implicit channel of Figure 4.  Used by
+    ``tests/attacks`` to show the rule is load-bearing.
+    """
+
+    name = "dom-insecure-branches"
+
+    def branch_block_seq(self, branch: MicroOp, operand_taint: int) -> int:
+        return READY
+
+
+class InsecureDoMAPEagerMispredictReissue(DelayOnMiss):
+    """DoM + Doppelganger Loads *without* §5.3's delayed re-issue rule.
+
+    The real load of a mispredicted doppelganger issues immediately (even
+    while speculative), so whether a *second* miss appears depends on the
+    resolved address — which may be derived from a speculatively loaded
+    value, leaking it through the miss pattern.
+    """
+
+    name = "dom-insecure-reissue"
+
+    def load_block_seq(self, load: MicroOp) -> int:
+        if load.dom_delayed and self.shadows.is_speculative(load.seq):
+            return load.seq
+        return READY

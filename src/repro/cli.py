@@ -1,0 +1,160 @@
+"""Command-line interface: ``python -m repro <subcommand>``.
+
+Subcommands:
+
+* ``list`` — available benchmarks and schemes.
+* ``run`` — simulate one benchmark under one scheme and print statistics.
+* ``figures`` — regenerate the paper's figures (Figure 1/6/7/8 + ablation).
+* ``attack`` — run the Spectre v1 gadget against every configuration.
+* ``trace`` — run with the pipeline tracer and print an instruction
+  timeline (Konata-style, in text).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.common.errors import ReproError
+from repro.schemes import SCHEME_NAMES, make_scheme
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Doppelganger Loads (ISCA 2023) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list benchmarks and schemes")
+
+    run = sub.add_parser("run", help="simulate one benchmark under one scheme")
+    run.add_argument("benchmark")
+    run.add_argument("--scheme", default="unsafe")
+    run.add_argument("--warmup", type=int, default=4000)
+    run.add_argument("--measure", type=int, default=16000)
+    run.add_argument(
+        "--baseline", action="store_true",
+        help="also run the unsafe baseline and print normalized IPC",
+    )
+
+    figures = sub.add_parser("figures", help="regenerate the paper's figures")
+    figures.add_argument("--fast", action="store_true")
+    figures.add_argument("--warmup", type=int, default=None)
+    figures.add_argument("--measure", type=int, default=None)
+
+    attack = sub.add_parser("attack", help="run Spectre v1 against every scheme")
+    attack.add_argument("--secret", type=int, default=7)
+
+    trace = sub.add_parser("trace", help="trace a window of the pipeline")
+    trace.add_argument("benchmark")
+    trace.add_argument("--scheme", default="dom+ap")
+    trace.add_argument("--instructions", type=int, default=300)
+    trace.add_argument("--window", type=int, default=40)
+    return parser
+
+
+def _cmd_list() -> int:
+    from repro.workloads.profiles import ALL_PROFILES
+
+    print("schemes:")
+    for name in SCHEME_NAMES:
+        print(f"  {name}" + ("       (+ap variant available)" if name != "dom+vp" else ""))
+    print("\nbenchmarks (suite, kernel):")
+    for profile in ALL_PROFILES:
+        print(f"  {profile.name:<14} {profile.suite:<9} {profile.kernel}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.harness.runner import run_benchmark
+
+    result = run_benchmark(
+        args.benchmark, args.scheme, warmup=args.warmup, measure=args.measure
+    )
+    print(f"{args.benchmark} under {args.scheme}:")
+    print(result.stats.summary())
+    if args.baseline and args.scheme != "unsafe":
+        base = run_benchmark(
+            args.benchmark, "unsafe", warmup=args.warmup, measure=args.measure
+        )
+        print(f"normalized IPC vs unsafe: {result.ipc / base.ipc:.3f}")
+    return 0
+
+
+def _cmd_attack(args: argparse.Namespace) -> int:
+    from repro.attacks import run_attack, spectre_v1
+
+    gadget = spectre_v1(secret_value=args.secret)
+    print(f"Spectre v1, secret = {args.secret}")
+    leaked_anywhere = False
+    for scheme in ("unsafe", "unsafe+ap", "nda", "nda+ap", "stt", "stt+ap",
+                   "dom", "dom+ap"):
+        outcome = run_attack(gadget, scheme)
+        verdict = "LEAKED" if outcome.leaked else "safe"
+        leaked_anywhere |= outcome.leaked
+        print(f"  {scheme:<10} {verdict:<8} inferred={outcome.inferred}")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.pipeline.core import Core
+    from repro.trace import PipelineTracer
+    from repro.workloads.profiles import build_workload
+
+    core = Core(build_workload(args.benchmark), make_scheme(args.scheme))
+    tracer = PipelineTracer()
+    core.tracer = tracer
+    core.run(max_instructions=args.instructions)
+    print(tracer.render_summary())
+    print()
+    first = max(0, len(tracer.records()) - args.window)
+    print(tracer.render_timeline(first=first, count=args.window))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    try:
+        if args.command == "list":
+            return _cmd_list()
+        if args.command == "run":
+            return _cmd_run(args)
+        if args.command == "figures":
+            # Reuse the full-evaluation example so there is exactly one
+            # implementation of the report.
+            import importlib.util
+            from pathlib import Path
+
+            script = Path(__file__).resolve().parents[2] / "examples" / "full_evaluation.py"
+            if not script.exists():
+                print(
+                    "error: examples/full_evaluation.py not found (run from "
+                    "a source checkout)",
+                    file=sys.stderr,
+                )
+                return 1
+            spec = importlib.util.spec_from_file_location("full_evaluation", script)
+            module = importlib.util.module_from_spec(spec)
+            spec.loader.exec_module(module)  # type: ignore[union-attr]
+            forwarded: List[str] = []
+            if args.fast:
+                forwarded.append("--fast")
+            if args.warmup is not None:
+                forwarded.extend(["--warmup", str(args.warmup)])
+            if args.measure is not None:
+                forwarded.extend(["--measure", str(args.measure)])
+            return module.main(forwarded)
+        if args.command == "attack":
+            return _cmd_attack(args)
+        if args.command == "trace":
+            return _cmd_trace(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    return 0  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,44 @@
+"""Shared infrastructure: configuration, statistics, and errors."""
+
+from repro.common.config import (
+    CACHE_LINE_SIZE,
+    BranchPredictorConfig,
+    CacheConfig,
+    CoreConfig,
+    MemoryConfig,
+    PredictorConfig,
+    SystemConfig,
+    default_config,
+    small_config,
+)
+from repro.common.errors import (
+    AssemblyError,
+    ConfigError,
+    ExecutionError,
+    ReproError,
+    SimulationLimitError,
+    StructuralHazardError,
+)
+from repro.common.stats import RunResult, SimStats, geomean, normalized
+
+__all__ = [
+    "CACHE_LINE_SIZE",
+    "AssemblyError",
+    "BranchPredictorConfig",
+    "CacheConfig",
+    "ConfigError",
+    "CoreConfig",
+    "ExecutionError",
+    "MemoryConfig",
+    "PredictorConfig",
+    "ReproError",
+    "RunResult",
+    "SimStats",
+    "SimulationLimitError",
+    "StructuralHazardError",
+    "SystemConfig",
+    "default_config",
+    "geomean",
+    "normalized",
+    "small_config",
+]

@@ -1,0 +1,284 @@
+"""System configuration dataclasses.
+
+The defaults reproduce Table 1 of the paper (an IceLake-like core):
+
+==============================  =======================================
+Decode width                    5 instructions
+Issue / Commit width            8 instructions
+Instruction queue               160 entries
+Reorder buffer                  352 entries
+Load queue                      128 entries
+Store queue/buffer              72 entries
+Address predictor/prefetcher    1024 entries, 8-way (full PC tags)
+L1 D cache                      48 KiB, 12 ways, 5-cycle roundtrip, 16 MSHRs
+Private L2 cache                2 MiB, 8 ways, 15-cycle roundtrip
+Shared L3 cache                 16 MiB, 16 ways, 40-cycle roundtrip
+Memory access time              13.5 ns (~50 cycles at the modelled clock)
+==============================  =======================================
+
+All knobs that the evaluation sweeps or ablates are explicit fields so a
+single frozen ``SystemConfig`` fully describes an experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any
+
+from repro.common.errors import ConfigError
+
+CACHE_LINE_SIZE = 64
+"""Cache line size in bytes, shared by every level of the hierarchy."""
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise ConfigError(message)
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry and latency of a single cache level."""
+
+    name: str
+    size_bytes: int
+    ways: int
+    latency: int
+    mshrs: int = 16
+    line_size: int = CACHE_LINE_SIZE
+
+    def __post_init__(self) -> None:
+        _require(self.size_bytes > 0, f"{self.name}: size must be positive")
+        _require(self.ways > 0, f"{self.name}: ways must be positive")
+        _require(self.latency >= 1, f"{self.name}: latency must be >= 1")
+        _require(self.mshrs >= 1, f"{self.name}: mshrs must be >= 1")
+        _require(
+            self.size_bytes % (self.ways * self.line_size) == 0,
+            f"{self.name}: size must be a multiple of ways * line size",
+        )
+
+    @property
+    def num_sets(self) -> int:
+        return self.size_bytes // (self.ways * self.line_size)
+
+
+@dataclass(frozen=True)
+class MemoryConfig:
+    """The three-level hierarchy plus DRAM of Table 1."""
+
+    l1: CacheConfig = field(
+        default_factory=lambda: CacheConfig("L1D", 48 * 1024, 12, latency=5, mshrs=16)
+    )
+    l2: CacheConfig = field(
+        default_factory=lambda: CacheConfig("L2", 2 * 1024 * 1024, 8, latency=15)
+    )
+    l3: CacheConfig = field(
+        default_factory=lambda: CacheConfig("L3", 16 * 1024 * 1024, 16, latency=40)
+    )
+    dram_latency: int = 50
+    """DRAM access latency in core cycles (13.5 ns at the modelled clock)."""
+
+    def __post_init__(self) -> None:
+        _require(self.dram_latency >= 1, "dram_latency must be >= 1")
+        sizes = (self.l1.size_bytes, self.l2.size_bytes, self.l3.size_bytes)
+        _require(
+            sizes[0] <= sizes[1] <= sizes[2],
+            "cache levels must be monotonically non-decreasing in size",
+        )
+
+
+@dataclass(frozen=True)
+class CoreConfig:
+    """Out-of-order core parameters (Table 1, Processor section)."""
+
+    decode_width: int = 5
+    issue_width: int = 8
+    commit_width: int = 8
+    iq_entries: int = 160
+    rob_entries: int = 352
+    lq_entries: int = 128
+    sq_entries: int = 72
+    load_ports: int = 3
+    """Cache access slots per cycle shared by loads/doppelgangers/prefetches."""
+    store_ports: int = 2
+    alu_latency: int = 1
+    mul_latency: int = 3
+    branch_resolution_delay: int = 12
+    """Minimum cycles from a branch's *dispatch* to its resolution (shadow
+    cleared, squash on mispredict) — the pipeline-depth floor of the
+    fetch→execute→redirect path.  This keeps control shadows open long
+    enough for the secure schemes' restrictions to bite, as in the
+    paper's gem5 model."""
+    branch_resolve_latency: int = 4
+    """Cycles from a branch's issue (operands ready) to its resolution —
+    the execute-to-redirect tail paid even by branches whose operands
+    arrive long after fetch (e.g. predicates fed by cache misses)."""
+    mispredict_penalty: int = 6
+    """Front-end refill cycles after a squash-and-redirect."""
+
+    def __post_init__(self) -> None:
+        for name in (
+            "decode_width",
+            "issue_width",
+            "commit_width",
+            "iq_entries",
+            "rob_entries",
+            "lq_entries",
+            "sq_entries",
+            "load_ports",
+            "store_ports",
+            "alu_latency",
+            "mul_latency",
+        ):
+            _require(getattr(self, name) >= 1, f"{name} must be >= 1")
+        _require(self.mispredict_penalty >= 0, "mispredict_penalty must be >= 0")
+        _require(
+            self.branch_resolution_delay >= 0,
+            "branch_resolution_delay must be >= 0",
+        )
+        _require(
+            self.branch_resolve_latency >= 1,
+            "branch_resolve_latency must be >= 1",
+        )
+        _require(
+            self.rob_entries >= self.lq_entries,
+            "ROB must be at least as large as the load queue",
+        )
+
+
+@dataclass(frozen=True)
+class BranchPredictorConfig:
+    """A gshare direction predictor with a direct-mapped BTB."""
+
+    history_bits: int = 12
+    table_entries: int = 4096
+    btb_entries: int = 4096
+
+    def __post_init__(self) -> None:
+        _require(0 <= self.history_bits <= 24, "history_bits out of range")
+        _require(
+            self.table_entries > 0 and self.table_entries & (self.table_entries - 1) == 0,
+            "table_entries must be a power of two",
+        )
+        _require(
+            self.btb_entries > 0 and self.btb_entries & (self.btb_entries - 1) == 0,
+            "btb_entries must be a power of two",
+        )
+
+
+@dataclass(frozen=True)
+class PredictorConfig:
+    """The shared stride prefetcher / address predictor (paper Section 5.1).
+
+    The same 1024-entry, 8-way, full-PC-tagged structure serves both as a
+    conventional stride prefetcher (predicting *future* instances of a load)
+    and, when ``address_prediction`` is enabled on the scheme, as the
+    Doppelganger address predictor (predicting the *current* instance).
+    """
+
+    entries: int = 1024
+    ways: int = 8
+    kind: str = "stride"
+    """Table flavour: "stride" (the paper's baseline, a repurposed PC
+    stride prefetcher) or "two_delta" (the 'better predictor' future-work
+    extension: the predicting stride changes only when a new delta is
+    observed twice, surviving isolated irregular accesses)."""
+    confidence_threshold: int = 2
+    """Minimum stride-stability counter before a prediction is produced."""
+    max_confidence: int = 7
+    prefetch_degree: int = 2
+    prefetch_distance: int = 4
+    train_on_execute: bool = False
+    """INSECURE ablation knob: train the stride table at address
+    generation (observing wrong-path/speculative addresses) instead of at
+    commit.  Exists only so the ablation benches can quantify what the
+    commit-only security requirement costs; never enable it otherwise."""
+    multi_instance_aging: bool = True
+    """Advance the predicted address by one stride per outstanding
+    in-flight instance of the same load PC, so overlapping loop
+    iterations each receive a distinct prediction.  The paper says the
+    predictor "predicts the address of the current instance of the load
+    based on its history" (§5.1); with several instances of one PC in
+    flight this per-instance aging is the only reading that reproduces
+    the paper's ~90% accuracy (Figure 7) — a commit-trained entry would
+    otherwise hand every in-flight instance the same stale address.  The
+    count of in-flight instances is fetch-stream information, independent
+    of speculative *data*, so the security argument is unchanged.  Set to
+    False to measure the naive single-prediction variant (ablation)."""
+
+    def __post_init__(self) -> None:
+        _require(self.entries >= 1, "entries must be >= 1")
+        _require(self.ways >= 1, "ways must be >= 1")
+        _require(self.entries % self.ways == 0, "entries must be divisible by ways")
+        _require(
+            0 <= self.confidence_threshold <= self.max_confidence,
+            "confidence_threshold must lie within [0, max_confidence]",
+        )
+        _require(self.prefetch_degree >= 0, "prefetch_degree must be >= 0")
+        _require(self.prefetch_distance >= 1, "prefetch_distance must be >= 1")
+        _require(
+            self.kind in ("stride", "two_delta"),
+            f"unknown predictor kind {self.kind!r}",
+        )
+
+    @property
+    def num_sets(self) -> int:
+        return self.entries // self.ways
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """A complete, immutable description of one simulated system."""
+
+    core: CoreConfig = field(default_factory=CoreConfig)
+    memory: MemoryConfig = field(default_factory=MemoryConfig)
+    branch: BranchPredictorConfig = field(default_factory=BranchPredictorConfig)
+    predictor: PredictorConfig = field(default_factory=PredictorConfig)
+    prefetch_enabled: bool = True
+    max_cycles: int = 50_000_000
+    """Hard simulation budget; exceeding it raises SimulationLimitError."""
+
+    def __post_init__(self) -> None:
+        _require(self.max_cycles >= 1, "max_cycles must be >= 1")
+
+    def with_overrides(self, **overrides: Any) -> "SystemConfig":
+        """Return a copy with top-level fields replaced.
+
+        Nested fields can be replaced by passing fully-built sub-configs,
+        e.g. ``cfg.with_overrides(core=replace(cfg.core, rob_entries=64))``.
+        """
+        return replace(self, **overrides)
+
+
+def default_config() -> SystemConfig:
+    """The Table 1 configuration used throughout the evaluation."""
+    return SystemConfig()
+
+
+def small_config(max_cycles: int = 2_000_000) -> SystemConfig:
+    """A scaled-down configuration for fast unit tests.
+
+    Keeps every mechanism active (shadows, MSHRs, port contention) but with
+    small structures so tests exercise capacity limits quickly.
+    """
+    return SystemConfig(
+        core=CoreConfig(
+            decode_width=2,
+            issue_width=4,
+            commit_width=4,
+            iq_entries=16,
+            rob_entries=32,
+            lq_entries=16,
+            sq_entries=16,
+            load_ports=2,
+            store_ports=1,
+        ),
+        memory=MemoryConfig(
+            l1=CacheConfig("L1D", 2 * 1024, 2, latency=2, mshrs=4),
+            l2=CacheConfig("L2", 16 * 1024, 4, latency=8),
+            l3=CacheConfig("L3", 64 * 1024, 8, latency=20),
+            dram_latency=40,
+        ),
+        predictor=PredictorConfig(entries=64, ways=4),
+        max_cycles=max_cycles,
+    )

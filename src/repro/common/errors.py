@@ -1,0 +1,41 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the simulator derives from :class:`ReproError` so that
+callers can catch simulator problems without masking unrelated bugs.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class ConfigError(ReproError):
+    """An invalid or inconsistent configuration value."""
+
+
+class AssemblyError(ReproError):
+    """A program could not be assembled (bad mnemonic, operand, or label)."""
+
+    def __init__(self, message: str, line: int | None = None):
+        self.line = line
+        if line is not None:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+
+
+class ExecutionError(ReproError):
+    """The simulated program performed an illegal operation."""
+
+
+class SimulationLimitError(ReproError):
+    """The simulation exceeded its cycle or instruction budget.
+
+    Usually indicates a deadlocked pipeline (a bug) or a runaway program
+    (an infinite loop in the workload).
+    """
+
+
+class StructuralHazardError(ReproError):
+    """An internal structure (ROB, LQ, SQ, IQ) was used inconsistently."""

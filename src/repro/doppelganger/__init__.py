@@ -1,0 +1,5 @@
+"""Doppelganger Loads: safe address prediction for delayed loads."""
+
+from repro.doppelganger.engine import DoppelgangerEngine
+
+__all__ = ["DoppelgangerEngine"]

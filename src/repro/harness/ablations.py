@@ -1,0 +1,117 @@
+"""Ablation studies for the design choices DESIGN.md calls out.
+
+The paper (§5.1) deliberately uses the simplest possible predictor to
+establish a performance floor; these sweeps quantify the design space
+around it:
+
+* confidence threshold — how eagerly the predictor produces doppelganger
+  addresses (coverage/accuracy trade-off);
+* table size — the 1024-entry, 8-way structure vs smaller/larger tables;
+* load ports — how much spare-port bandwidth doppelgangers rely on;
+* training policy — commit-only (the security requirement) vs an
+  *insecure* train-at-execute variant, quantifying what the security
+  constraint costs in prediction quality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, Optional, Sequence
+
+from repro.common.config import SystemConfig, default_config
+from repro.common.stats import RunResult
+from repro.harness.runner import DEFAULT_MEASURE, DEFAULT_WARMUP, run_benchmark
+
+
+def _base(config: Optional[SystemConfig]) -> SystemConfig:
+    return config if config is not None else default_config()
+
+
+def sweep_confidence_threshold(
+    benchmark: str,
+    scheme: str = "dom+ap",
+    thresholds: Sequence[int] = (0, 1, 2, 3, 4, 6),
+    config: Optional[SystemConfig] = None,
+    warmup: int = DEFAULT_WARMUP,
+    measure: int = DEFAULT_MEASURE,
+) -> Dict[int, RunResult]:
+    """IPC / coverage / accuracy across predictor confidence thresholds."""
+    base = _base(config)
+    results: Dict[int, RunResult] = {}
+    for threshold in thresholds:
+        cfg = replace(
+            base, predictor=replace(base.predictor, confidence_threshold=threshold)
+        )
+        results[threshold] = run_benchmark(benchmark, scheme, cfg, warmup, measure)
+    return results
+
+
+def sweep_predictor_entries(
+    benchmark: str,
+    scheme: str = "dom+ap",
+    entries: Sequence[int] = (64, 256, 1024, 4096),
+    config: Optional[SystemConfig] = None,
+    warmup: int = DEFAULT_WARMUP,
+    measure: int = DEFAULT_MEASURE,
+) -> Dict[int, RunResult]:
+    """IPC across stride-table sizes (paper default: 1024 entries, 8-way)."""
+    base = _base(config)
+    results: Dict[int, RunResult] = {}
+    for count in entries:
+        cfg = replace(base, predictor=replace(base.predictor, entries=count))
+        results[count] = run_benchmark(benchmark, scheme, cfg, warmup, measure)
+    return results
+
+
+def sweep_load_ports(
+    benchmark: str,
+    scheme: str = "dom+ap",
+    ports: Sequence[int] = (1, 2, 3, 4),
+    config: Optional[SystemConfig] = None,
+    warmup: int = DEFAULT_WARMUP,
+    measure: int = DEFAULT_MEASURE,
+) -> Dict[int, RunResult]:
+    """IPC across memory-port counts — doppelgangers only use spare slots,
+    so a port-starved core should show smaller AP gains."""
+    base = _base(config)
+    results: Dict[int, RunResult] = {}
+    for count in ports:
+        cfg = replace(base, core=replace(base.core, load_ports=count))
+        results[count] = run_benchmark(benchmark, scheme, cfg, warmup, measure)
+    return results
+
+
+def compare_training_policy(
+    benchmark: str,
+    scheme: str = "dom+ap",
+    config: Optional[SystemConfig] = None,
+    warmup: int = DEFAULT_WARMUP,
+    measure: int = DEFAULT_MEASURE,
+) -> Dict[str, RunResult]:
+    """Commit-only training (secure) vs train-at-execute (INSECURE).
+
+    Training at execute observes wrong-path addresses, which both
+    pollutes the table and — crucially — would let speculative secrets
+    reach the predictor, breaking the paper's safety argument.  The
+    ablation quantifies how much (or little) performance the security
+    requirement costs.
+    """
+    base = _base(config)
+    secure = run_benchmark(benchmark, scheme, base, warmup, measure)
+    insecure_cfg = replace(
+        base, predictor=replace(base.predictor, train_on_execute=True)
+    )
+    insecure = run_benchmark(benchmark, scheme, insecure_cfg, warmup, measure)
+    return {"commit": secure, "execute": insecure}
+
+
+def format_sweep(results: Dict[int, RunResult], label: str) -> str:
+    """Render a sweep result as the table the ablation bench prints."""
+    header = f"{label:<12}{'IPC':>8}{'coverage':>10}{'accuracy':>10}"
+    lines = [header, "-" * len(header)]
+    for key in sorted(results):
+        stats = results[key].stats
+        lines.append(
+            f"{key:<12}{stats.ipc:>8.3f}{stats.coverage:>9.1%}{stats.accuracy:>9.1%}"
+        )
+    return "\n".join(lines)

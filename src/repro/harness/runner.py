@@ -1,0 +1,115 @@
+"""Run (benchmark, scheme) pairs and collect measurement-window stats.
+
+The paper measures 100M-instruction simpoints after warmup; we scale that
+to Python speeds with an explicit warmup window (caches, branch predictor,
+and stride table train) followed by a measurement window whose counter
+*deltas* are reported.  :class:`ExperimentSession` memoizes runs so the
+figures that share configurations (6, 7, 8 all use the same sweep) don't
+re-simulate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.common.config import SystemConfig, default_config
+from repro.common.stats import RunResult, SimStats
+from repro.pipeline.core import Core
+from repro.schemes import make_scheme
+from repro.workloads.profiles import build_workload, get_profile
+
+DEFAULT_WARMUP = 6_000
+DEFAULT_MEASURE = 30_000
+
+#: The seven configurations of Figure 6 / Figure 8, in plot order.
+FIGURE_SCHEMES: Tuple[str, ...] = (
+    "nda",
+    "nda+ap",
+    "stt",
+    "stt+ap",
+    "dom",
+    "dom+ap",
+)
+BASELINE_SCHEME = "unsafe"
+
+
+def _stats_delta(before: Dict[str, int], after: SimStats) -> SimStats:
+    delta = SimStats()
+    for f in fields(SimStats):
+        setattr(delta, f.name, getattr(after, f.name) - before[f.name])
+    return delta
+
+
+def run_program(
+    program,
+    scheme: str,
+    config: Optional[SystemConfig] = None,
+    warmup: int = DEFAULT_WARMUP,
+    measure: int = DEFAULT_MEASURE,
+) -> RunResult:
+    """Run ``program`` under ``scheme`` and return measurement-window stats."""
+    core = Core(program, make_scheme(scheme), config=config)
+    if warmup > 0:
+        core.run(max_instructions=warmup)
+    before = core.stats.as_dict()
+    before["cycles"] = core.cycle
+    core.run(max_instructions=warmup + measure)
+    core.stats.cycles = core.cycle
+    stats = _stats_delta(before, core.stats)
+    return RunResult(
+        benchmark=program.name,
+        scheme=scheme,
+        stats=stats,
+        metadata={"warmup": warmup, "measure": measure},
+    )
+
+
+def run_benchmark(
+    benchmark: str,
+    scheme: str,
+    config: Optional[SystemConfig] = None,
+    warmup: int = DEFAULT_WARMUP,
+    measure: int = DEFAULT_MEASURE,
+) -> RunResult:
+    """Build the named SPEC stand-in and measure it under ``scheme``."""
+    get_profile(benchmark)  # fail fast on unknown names
+    program = build_workload(benchmark)
+    return run_program(program, scheme, config, warmup, measure)
+
+
+@dataclass
+class ExperimentSession:
+    """A memoizing runner shared by all figure-regeneration code."""
+
+    config: Optional[SystemConfig] = None
+    warmup: int = DEFAULT_WARMUP
+    measure: int = DEFAULT_MEASURE
+
+    def __post_init__(self) -> None:
+        if self.config is None:
+            self.config = default_config()
+        self._cache: Dict[Tuple[str, str], RunResult] = {}
+
+    def run(self, benchmark: str, scheme: str) -> RunResult:
+        key = (benchmark, scheme)
+        if key not in self._cache:
+            self._cache[key] = run_benchmark(
+                benchmark, scheme, self.config, self.warmup, self.measure
+            )
+        return self._cache[key]
+
+    def sweep(
+        self, benchmarks: Iterable[str], schemes: Iterable[str]
+    ) -> List[RunResult]:
+        return [self.run(b, s) for b in benchmarks for s in schemes]
+
+    def normalized_ipc(self, benchmark: str, scheme: str) -> float:
+        """IPC of ``scheme`` normalized to the unsafe baseline."""
+        baseline = self.run(benchmark, BASELINE_SCHEME).ipc
+        if baseline == 0:
+            raise ZeroDivisionError(f"{benchmark}: baseline committed nothing")
+        return self.run(benchmark, scheme).ipc / baseline
+
+    def cached_runs(self) -> int:
+        return len(self._cache)

@@ -1,0 +1,28 @@
+"""The micro-ISA: instructions, programs, assembler, and code builder."""
+
+from repro.isa.assembler import assemble
+from repro.isa.builder import CodeBuilder
+from repro.isa.instructions import (
+    NUM_REGISTERS,
+    WORD_MASK,
+    Instruction,
+    Opcode,
+    branch_taken,
+    evaluate_alu,
+)
+from repro.isa.program import ArchState, InterpreterResult, Program, WORD_SIZE
+
+__all__ = [
+    "ArchState",
+    "CodeBuilder",
+    "Instruction",
+    "InterpreterResult",
+    "NUM_REGISTERS",
+    "Opcode",
+    "Program",
+    "WORD_MASK",
+    "WORD_SIZE",
+    "assemble",
+    "branch_taken",
+    "evaluate_alu",
+]

@@ -1,0 +1,204 @@
+"""A small two-pass assembler for the micro-ISA.
+
+Syntax (one instruction per line; ``#`` or ``;`` start comments)::
+
+    start:
+        li   r1, 100
+    loop:
+        load r2, [r1 + 8]
+        addi r1, r1, 8
+        bne  r2, r0, loop
+        halt
+
+Labels are case-sensitive identifiers followed by ``:``; branch/jump
+targets may be labels or absolute instruction indices.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from repro.common.errors import AssemblyError
+from repro.isa.instructions import (
+    CONDITIONAL_BRANCH_OPS,
+    IMMEDIATE_ALU_OPS,
+    Instruction,
+    Opcode,
+)
+
+_LABEL_RE = re.compile(r"^([A-Za-z_][A-Za-z0-9_]*):\s*(.*)$")
+_MEM_RE = re.compile(r"^\[\s*(r\d+)\s*(?:([+-])\s*(\w+))?\s*\]$")
+_MNEMONICS = {op.value: op for op in Opcode}
+_THREE_REG_OPS = {
+    Opcode.ADD,
+    Opcode.SUB,
+    Opcode.MUL,
+    Opcode.AND,
+    Opcode.OR,
+    Opcode.XOR,
+    Opcode.SHL,
+    Opcode.SHR,
+}
+
+
+def _parse_register(token: str, line: int) -> int:
+    token = token.strip().lower()
+    if not token.startswith("r"):
+        raise AssemblyError(f"expected register, got {token!r}", line)
+    try:
+        index = int(token[1:])
+    except ValueError:
+        raise AssemblyError(f"bad register {token!r}", line) from None
+    if not 0 <= index < 32:
+        raise AssemblyError(f"register {token!r} out of range", line)
+    return index
+
+
+def _parse_immediate(token: str, line: int) -> int:
+    token = token.strip()
+    try:
+        return int(token, 0)
+    except ValueError:
+        raise AssemblyError(f"bad immediate {token!r}", line) from None
+
+
+def _split_operands(rest: str) -> List[str]:
+    return [part.strip() for part in rest.split(",")] if rest.strip() else []
+
+
+def _parse_mem_operand(token: str, line: int) -> Tuple[int, int]:
+    """Parse ``[rN + imm]`` into (base register, displacement)."""
+    match = _MEM_RE.match(token.strip())
+    if not match:
+        raise AssemblyError(f"bad memory operand {token!r}", line)
+    base = _parse_register(match.group(1), line)
+    displacement = 0
+    if match.group(3) is not None:
+        displacement = _parse_immediate(match.group(3), line)
+        if match.group(2) == "-":
+            displacement = -displacement
+    return base, displacement
+
+
+class _PendingTarget:
+    """A branch target to resolve in the second pass."""
+
+    def __init__(self, index: int, token: str, line: int):
+        self.index = index
+        self.token = token
+        self.line = line
+
+
+def assemble(source: str) -> List[Instruction]:
+    """Assemble source text into a list of instructions."""
+    instructions: List[Instruction] = []
+    labels: Dict[str, int] = {}
+    pending: List[_PendingTarget] = []
+
+    for line_number, raw in enumerate(source.splitlines(), start=1):
+        text = raw.split("#", 1)[0].split(";", 1)[0].strip()
+        while text:
+            match = _LABEL_RE.match(text)
+            if not match:
+                break
+            label = match.group(1)
+            if label in labels:
+                raise AssemblyError(f"duplicate label {label!r}", line_number)
+            labels[label] = len(instructions)
+            text = match.group(2).strip()
+        if not text:
+            continue
+        instructions.append(_parse_instruction(text, line_number, pending, len(instructions)))
+
+    resolved: List[Instruction] = list(instructions)
+    for target in pending:
+        if target.token in labels:
+            address = labels[target.token]
+        else:
+            try:
+                address = int(target.token, 0)
+            except ValueError:
+                raise AssemblyError(
+                    f"unknown label {target.token!r}", target.line
+                ) from None
+        original = resolved[target.index]
+        resolved[target.index] = Instruction(
+            original.opcode,
+            rd=original.rd,
+            rs1=original.rs1,
+            rs2=original.rs2,
+            imm=address,
+            label=original.label,
+        )
+    return resolved
+
+
+def _parse_instruction(
+    text: str, line: int, pending: List[_PendingTarget], index: int
+) -> Instruction:
+    parts = text.split(None, 1)
+    mnemonic = parts[0].lower()
+    rest = parts[1] if len(parts) > 1 else ""
+    opcode = _MNEMONICS.get(mnemonic)
+    if opcode is None:
+        raise AssemblyError(f"unknown mnemonic {mnemonic!r}", line)
+    operands = _split_operands(rest)
+
+    def expect(count: int) -> None:
+        if len(operands) != count:
+            raise AssemblyError(
+                f"{mnemonic} expects {count} operand(s), got {len(operands)}", line
+            )
+
+    if opcode in (Opcode.NOP, Opcode.HALT):
+        expect(0)
+        return Instruction(opcode)
+    if opcode is Opcode.LI:
+        expect(2)
+        return Instruction(opcode, rd=_parse_register(operands[0], line),
+                           imm=_parse_immediate(operands[1], line))
+    if opcode is Opcode.MOV:
+        expect(2)
+        return Instruction(opcode, rd=_parse_register(operands[0], line),
+                           rs1=_parse_register(operands[1], line))
+    if opcode in _THREE_REG_OPS:
+        expect(3)
+        return Instruction(
+            opcode,
+            rd=_parse_register(operands[0], line),
+            rs1=_parse_register(operands[1], line),
+            rs2=_parse_register(operands[2], line),
+        )
+    if opcode in IMMEDIATE_ALU_OPS:
+        expect(3)
+        return Instruction(
+            opcode,
+            rd=_parse_register(operands[0], line),
+            rs1=_parse_register(operands[1], line),
+            imm=_parse_immediate(operands[2], line),
+        )
+    if opcode is Opcode.LOAD:
+        expect(2)
+        base, disp = _parse_mem_operand(operands[1], line)
+        return Instruction(opcode, rd=_parse_register(operands[0], line),
+                           rs1=base, imm=disp)
+    if opcode is Opcode.STORE:
+        expect(2)
+        base, disp = _parse_mem_operand(operands[1], line)
+        return Instruction(opcode, rs2=_parse_register(operands[0], line),
+                           rs1=base, imm=disp)
+    if opcode is Opcode.JMP:
+        expect(1)
+        pending.append(_PendingTarget(index, operands[0], line))
+        return Instruction(opcode, imm=0)
+    if opcode in CONDITIONAL_BRANCH_OPS:
+        expect(3)
+        pending.append(_PendingTarget(index, operands[2], line))
+        return Instruction(
+            opcode,
+            rs1=_parse_register(operands[0], line),
+            rs2=_parse_register(operands[1], line),
+            imm=0,
+        )
+    raise AssemblyError(f"unhandled mnemonic {mnemonic!r}", line)  # pragma: no cover

@@ -1,0 +1,193 @@
+"""A programmatic code builder for generating workloads and gadgets.
+
+``CodeBuilder`` offers label-based control flow with deferred resolution so
+kernel generators (``repro.workloads``) and attack gadgets
+(``repro.attacks``) can be written without manual instruction indices::
+
+    b = CodeBuilder()
+    b.li(1, 0)                    # i = 0
+    loop = b.label("loop")
+    b.load(2, base=1, disp=BASE)  # r2 = A[i]
+    b.addi(1, 1, 8)
+    b.blt(1, 3, "loop")           # while i < r3
+    b.halt()
+    program = b.build(name="sum")
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Tuple, Union
+
+from repro.common.errors import AssemblyError
+from repro.isa.instructions import Instruction, Opcode
+from repro.isa.program import Program
+
+Target = Union[str, int]
+
+
+class CodeBuilder:
+    """Incrementally build a :class:`Program`."""
+
+    def __init__(self) -> None:
+        self._instructions: List[Instruction] = []
+        self._labels: Dict[str, int] = {}
+        self._pending: List[Tuple[int, str]] = []
+        self._memory: Dict[int, int] = {}
+        self._registers: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    # Labels and layout
+    # ------------------------------------------------------------------
+    @property
+    def here(self) -> int:
+        """Index of the next instruction to be emitted."""
+        return len(self._instructions)
+
+    def label(self, name: str) -> int:
+        """Bind ``name`` to the current position; returns that position."""
+        if name in self._labels:
+            raise AssemblyError(f"duplicate label {name!r}")
+        self._labels[name] = self.here
+        return self.here
+
+    def set_memory(self, address: int, value: int) -> None:
+        """Set one 8-byte word of the initial memory image."""
+        self._memory[address & ~7] = value
+
+    def set_array(self, base: int, values: Mapping[int, int] | List[int]) -> None:
+        """Lay out word values starting at ``base`` (8 bytes apart)."""
+        if isinstance(values, Mapping):
+            items = values.items()
+        else:
+            items = enumerate(values)
+        for index, value in items:
+            self.set_memory(base + 8 * index, value)
+
+    def set_register(self, reg: int, value: int) -> None:
+        self._registers[reg] = value
+
+    # ------------------------------------------------------------------
+    # Instruction emitters
+    # ------------------------------------------------------------------
+    def emit(self, instruction: Instruction) -> None:
+        self._instructions.append(instruction)
+
+    def li(self, rd: int, imm: int) -> None:
+        self.emit(Instruction(Opcode.LI, rd=rd, imm=imm))
+
+    def mov(self, rd: int, rs: int) -> None:
+        self.emit(Instruction(Opcode.MOV, rd=rd, rs1=rs))
+
+    def _rrr(self, op: Opcode, rd: int, rs1: int, rs2: int) -> None:
+        self.emit(Instruction(op, rd=rd, rs1=rs1, rs2=rs2))
+
+    def add(self, rd: int, rs1: int, rs2: int) -> None:
+        self._rrr(Opcode.ADD, rd, rs1, rs2)
+
+    def sub(self, rd: int, rs1: int, rs2: int) -> None:
+        self._rrr(Opcode.SUB, rd, rs1, rs2)
+
+    def mul(self, rd: int, rs1: int, rs2: int) -> None:
+        self._rrr(Opcode.MUL, rd, rs1, rs2)
+
+    def and_(self, rd: int, rs1: int, rs2: int) -> None:
+        self._rrr(Opcode.AND, rd, rs1, rs2)
+
+    def or_(self, rd: int, rs1: int, rs2: int) -> None:
+        self._rrr(Opcode.OR, rd, rs1, rs2)
+
+    def xor(self, rd: int, rs1: int, rs2: int) -> None:
+        self._rrr(Opcode.XOR, rd, rs1, rs2)
+
+    def shl(self, rd: int, rs1: int, rs2: int) -> None:
+        self._rrr(Opcode.SHL, rd, rs1, rs2)
+
+    def shr(self, rd: int, rs1: int, rs2: int) -> None:
+        self._rrr(Opcode.SHR, rd, rs1, rs2)
+
+    def _rri(self, op: Opcode, rd: int, rs1: int, imm: int) -> None:
+        self.emit(Instruction(op, rd=rd, rs1=rs1, imm=imm))
+
+    def addi(self, rd: int, rs1: int, imm: int) -> None:
+        self._rri(Opcode.ADDI, rd, rs1, imm)
+
+    def muli(self, rd: int, rs1: int, imm: int) -> None:
+        self._rri(Opcode.MULI, rd, rs1, imm)
+
+    def andi(self, rd: int, rs1: int, imm: int) -> None:
+        self._rri(Opcode.ANDI, rd, rs1, imm)
+
+    def xori(self, rd: int, rs1: int, imm: int) -> None:
+        self._rri(Opcode.XORI, rd, rs1, imm)
+
+    def shli(self, rd: int, rs1: int, imm: int) -> None:
+        self._rri(Opcode.SHLI, rd, rs1, imm)
+
+    def shri(self, rd: int, rs1: int, imm: int) -> None:
+        self._rri(Opcode.SHRI, rd, rs1, imm)
+
+    def load(self, rd: int, base: int, disp: int = 0) -> None:
+        self.emit(Instruction(Opcode.LOAD, rd=rd, rs1=base, imm=disp))
+
+    def store(self, rs: int, base: int, disp: int = 0) -> None:
+        self.emit(Instruction(Opcode.STORE, rs2=rs, rs1=base, imm=disp))
+
+    def nop(self, count: int = 1) -> None:
+        for _ in range(count):
+            self.emit(Instruction(Opcode.NOP))
+
+    def halt(self) -> None:
+        self.emit(Instruction(Opcode.HALT))
+
+    def _branch(self, op: Opcode, rs1: int, rs2: int, target: Target) -> None:
+        if isinstance(target, str):
+            self._pending.append((self.here, target))
+            imm = 0
+        else:
+            imm = target
+        self.emit(Instruction(op, rs1=rs1, rs2=rs2, imm=imm))
+
+    def beq(self, rs1: int, rs2: int, target: Target) -> None:
+        self._branch(Opcode.BEQ, rs1, rs2, target)
+
+    def bne(self, rs1: int, rs2: int, target: Target) -> None:
+        self._branch(Opcode.BNE, rs1, rs2, target)
+
+    def blt(self, rs1: int, rs2: int, target: Target) -> None:
+        self._branch(Opcode.BLT, rs1, rs2, target)
+
+    def bge(self, rs1: int, rs2: int, target: Target) -> None:
+        self._branch(Opcode.BGE, rs1, rs2, target)
+
+    def jmp(self, target: Target) -> None:
+        if isinstance(target, str):
+            self._pending.append((self.here, target))
+            imm = 0
+        else:
+            imm = target
+        self.emit(Instruction(Opcode.JMP, imm=imm))
+
+    # ------------------------------------------------------------------
+    # Finalization
+    # ------------------------------------------------------------------
+    def build(self, name: str = "program") -> Program:
+        """Resolve pending labels and return the finished program."""
+        instructions = list(self._instructions)
+        for index, label in self._pending:
+            if label not in self._labels:
+                raise AssemblyError(f"undefined label {label!r}")
+            original = instructions[index]
+            instructions[index] = Instruction(
+                original.opcode,
+                rd=original.rd,
+                rs1=original.rs1,
+                rs2=original.rs2,
+                imm=self._labels[label],
+                label=original.label,
+            )
+        return Program(
+            instructions,
+            initial_memory=self._memory,
+            initial_registers=self._registers,
+            name=name,
+        )

@@ -1,0 +1,155 @@
+"""Programs: static instruction sequences plus initial memory images.
+
+A :class:`Program` is what the simulator executes.  Its functional
+reference semantics live in :meth:`Program.interpret`, used by tests to
+check that the out-of-order core commits exactly the architectural state a
+simple in-order interpreter produces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence
+
+from repro.common.errors import ExecutionError
+from repro.isa.instructions import (
+    NUM_REGISTERS,
+    WORD_MASK,
+    Instruction,
+    Opcode,
+    branch_taken,
+    evaluate_alu,
+)
+
+WORD_SIZE = 8
+"""Memory is addressed in bytes but loads/stores move 8-byte words."""
+
+
+@dataclass
+class ArchState:
+    """Architectural state: registers and word-granular memory."""
+
+    registers: List[int] = field(default_factory=lambda: [0] * NUM_REGISTERS)
+    memory: Dict[int, int] = field(default_factory=dict)
+
+    def read_reg(self, index: int) -> int:
+        return 0 if index == 0 else self.registers[index]
+
+    def write_reg(self, index: int, value: int) -> None:
+        if index != 0:
+            self.registers[index] = value & WORD_MASK
+
+    def read_mem(self, address: int) -> int:
+        """Read the 8-byte word containing ``address`` (word-aligned)."""
+        return self.memory.get(address & ~(WORD_SIZE - 1) & WORD_MASK, 0)
+
+    def write_mem(self, address: int, value: int) -> None:
+        self.memory[address & ~(WORD_SIZE - 1) & WORD_MASK] = value & WORD_MASK
+
+    def copy(self) -> "ArchState":
+        return ArchState(list(self.registers), dict(self.memory))
+
+
+@dataclass
+class InterpreterResult:
+    """Outcome of functional interpretation."""
+
+    state: ArchState
+    instructions_executed: int
+    halted: bool
+    branch_trace: List[bool] = field(default_factory=list)
+
+
+class Program:
+    """A static program: instructions, entry point, and initial memory."""
+
+    def __init__(
+        self,
+        instructions: Sequence[Instruction],
+        initial_memory: Optional[Mapping[int, int]] = None,
+        initial_registers: Optional[Mapping[int, int]] = None,
+        name: str = "program",
+    ):
+        self.instructions: List[Instruction] = list(instructions)
+        self.initial_memory: Dict[int, int] = dict(initial_memory or {})
+        self.initial_registers: Dict[int, int] = dict(initial_registers or {})
+        self.name = name
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __iter__(self) -> Iterator[Instruction]:
+        return iter(self.instructions)
+
+    def fetch(self, pc: int) -> Optional[Instruction]:
+        """The instruction at ``pc``, or None past the end of the program.
+
+        Wrong-path fetch can run past the program; the front-end treats a
+        None fetch as an implicit halt bubble.
+        """
+        if 0 <= pc < len(self.instructions):
+            return self.instructions[pc]
+        return None
+
+    def initial_state(self) -> ArchState:
+        state = ArchState()
+        for addr, value in self.initial_memory.items():
+            state.write_mem(addr, value)
+        for reg, value in self.initial_registers.items():
+            state.write_reg(reg, value)
+        return state
+
+    def disassemble(self) -> str:
+        return "\n".join(
+            f"{pc:5d}: {inst.disassemble()}" for pc, inst in enumerate(self.instructions)
+        )
+
+    # ------------------------------------------------------------------
+    # Functional reference semantics
+    # ------------------------------------------------------------------
+    def interpret(self, max_instructions: int = 10_000_000) -> InterpreterResult:
+        """Run the program on a simple in-order interpreter.
+
+        Returns the final architectural state; used as the golden reference
+        for the out-of-order core and for deriving branch traces.
+        """
+        state = self.initial_state()
+        pc = 0
+        executed = 0
+        branch_trace: List[bool] = []
+        program_len = len(self.instructions)
+        while 0 <= pc < program_len:
+            if executed >= max_instructions:
+                raise ExecutionError(
+                    f"{self.name}: exceeded {max_instructions} interpreted instructions"
+                )
+            inst = self.instructions[pc]
+            executed += 1
+            op = inst.opcode
+            if op is Opcode.HALT:
+                return InterpreterResult(state, executed, True, branch_trace)
+            if op is Opcode.NOP:
+                pc += 1
+            elif inst.is_alu:
+                a = state.read_reg(inst.rs1) if inst.rs1 is not None else 0
+                b = inst.imm if inst.rs2 is None else state.read_reg(inst.rs2)
+                state.write_reg(inst.rd, evaluate_alu(op, a, b))
+                pc += 1
+            elif op is Opcode.LOAD:
+                address = (state.read_reg(inst.rs1) + inst.imm) & WORD_MASK
+                state.write_reg(inst.rd, state.read_mem(address))
+                pc += 1
+            elif op is Opcode.STORE:
+                address = (state.read_reg(inst.rs1) + inst.imm) & WORD_MASK
+                state.write_mem(address, state.read_reg(inst.rs2))
+                pc += 1
+            elif inst.is_branch:
+                a = state.read_reg(inst.rs1) if inst.rs1 is not None else 0
+                b = state.read_reg(inst.rs2) if inst.rs2 is not None else 0
+                taken = branch_taken(op, a, b)
+                if inst.is_conditional_branch:
+                    branch_trace.append(taken)
+                pc = inst.imm if taken else pc + 1
+            else:  # pragma: no cover - all opcodes handled above
+                raise ExecutionError(f"unhandled opcode {op}")
+        return InterpreterResult(state, executed, False, branch_trace)

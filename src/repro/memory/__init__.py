@@ -1,0 +1,25 @@
+"""The memory hierarchy: caches, replacement, MSHRs, and DRAM timing."""
+
+from repro.memory.cache import CacheLevel
+from repro.memory.hierarchy import DRAM_LEVEL, AccessResult, MemoryHierarchy
+from repro.memory.mshr import MSHRFile
+from repro.memory.replacement import (
+    FIFOPolicy,
+    LRUPolicy,
+    RandomPolicy,
+    ReplacementPolicy,
+    make_policy,
+)
+
+__all__ = [
+    "AccessResult",
+    "CacheLevel",
+    "DRAM_LEVEL",
+    "FIFOPolicy",
+    "LRUPolicy",
+    "MSHRFile",
+    "MemoryHierarchy",
+    "RandomPolicy",
+    "ReplacementPolicy",
+    "make_policy",
+]

@@ -1,0 +1,149 @@
+"""A set-associative cache level with pluggable replacement.
+
+The cache stores only tags and replacement metadata — data values live in
+the functional memory image (``repro.isa.program.ArchState``); the timing
+model only needs hit/miss decisions.
+
+Two kinds of read exist because of Delay-on-Miss:
+
+* :meth:`lookup` — a *non-mutating probe*: reports hit/miss without touching
+  replacement state.  DoM issues speculative loads this way so that a
+  squashed speculative hit leaves no observable trace (the replacement
+  update is applied retroactively at commit via :meth:`touch`).
+* :meth:`access` — a demand access: touches on hit, returns miss otherwise.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.common.config import CacheConfig
+from repro.memory.replacement import LRUPolicy, ReplacementPolicy
+
+
+class CacheLevel:
+    """One level of the hierarchy (tags + replacement metadata only)."""
+
+    def __init__(self, config: CacheConfig, policy: Optional[ReplacementPolicy] = None):
+        self.config = config
+        self.policy: ReplacementPolicy = policy if policy is not None else LRUPolicy()
+        self.num_sets = config.num_sets
+        self.ways = config.ways
+        # Per-set: mapping from line address -> way, plus per-way metadata.
+        self._map: List[Dict[int, int]] = [dict() for _ in range(self.num_sets)]
+        self._lines: List[List[Optional[int]]] = [
+            [None] * self.ways for _ in range(self.num_sets)
+        ]
+        self._touch: List[List[int]] = [[0] * self.ways for _ in range(self.num_sets)]
+        self._fill: List[List[int]] = [[0] * self.ways for _ in range(self.num_sets)]
+        self._dirty: List[List[bool]] = [
+            [False] * self.ways for _ in range(self.num_sets)
+        ]
+        self._line_shift = config.line_size.bit_length() - 1
+
+    # ------------------------------------------------------------------
+    # Address helpers
+    # ------------------------------------------------------------------
+    def line_address(self, address: int) -> int:
+        """The line-aligned address containing ``address``."""
+        return address >> self._line_shift
+
+    def set_index(self, line: int) -> int:
+        return line % self.num_sets
+
+    # ------------------------------------------------------------------
+    # Probes and accesses
+    # ------------------------------------------------------------------
+    def lookup(self, line: int) -> bool:
+        """Non-mutating hit test (DoM probe)."""
+        return line in self._map[self.set_index(line)]
+
+    def access(self, line: int, cycle: int, is_write: bool = False) -> bool:
+        """Demand access: on hit, update replacement (and dirty); else miss."""
+        index = self.set_index(line)
+        way = self._map[index].get(line)
+        if way is None:
+            return False
+        self._touch[index][way] = cycle
+        if is_write:
+            self._dirty[index][way] = True
+        return True
+
+    def touch(self, line: int, cycle: int) -> bool:
+        """Retroactive replacement update (DoM commit of a speculative hit).
+
+        Returns False when the line is no longer resident (it may have been
+        evicted between the speculative probe and commit), in which case
+        there is nothing to update.
+        """
+        index = self.set_index(line)
+        way = self._map[index].get(line)
+        if way is None:
+            return False
+        self._touch[index][way] = cycle
+        return True
+
+    def fill(self, line: int, cycle: int, is_write: bool = False) -> Optional[Tuple[int, bool]]:
+        """Insert ``line``; returns ``(evicted_line, was_dirty)`` if any.
+
+        Filling a line that is already resident just refreshes its stamps.
+        """
+        index = self.set_index(line)
+        existing = self._map[index].get(line)
+        if existing is not None:
+            self._touch[index][existing] = cycle
+            self._fill[index][existing] = cycle
+            if is_write:
+                self._dirty[index][existing] = True
+            return None
+        # Prefer an invalid way before invoking the policy.
+        lines = self._lines[index]
+        victim_way = None
+        for way in range(self.ways):
+            if lines[way] is None:
+                victim_way = way
+                break
+        evicted: Optional[Tuple[int, bool]] = None
+        if victim_way is None:
+            victim_way = self.policy.victim(self._touch[index], self._fill[index])
+            victim_line = lines[victim_way]
+            assert victim_line is not None
+            evicted = (victim_line, self._dirty[index][victim_way])
+            del self._map[index][victim_line]
+        lines[victim_way] = line
+        self._map[index][line] = victim_way
+        self._touch[index][victim_way] = cycle
+        self._fill[index][victim_way] = cycle
+        self._dirty[index][victim_way] = is_write
+        return evicted
+
+    def invalidate(self, line: int) -> bool:
+        """Remove a line (coherence invalidation); True if it was present."""
+        index = self.set_index(line)
+        way = self._map[index].pop(line, None)
+        if way is None:
+            return False
+        self._lines[index][way] = None
+        self._dirty[index][way] = False
+        return True
+
+    # ------------------------------------------------------------------
+    # Introspection (tests, attack observer)
+    # ------------------------------------------------------------------
+    def resident_lines(self) -> List[int]:
+        """All line addresses currently cached (order unspecified)."""
+        lines: List[int] = []
+        for per_set in self._map:
+            lines.extend(per_set.keys())
+        return lines
+
+    def occupancy(self) -> int:
+        return sum(len(per_set) for per_set in self._map)
+
+    def flush(self) -> None:
+        """Empty the cache (attack setup: flush the probe array)."""
+        for index in range(self.num_sets):
+            self._map[index].clear()
+            for way in range(self.ways):
+                self._lines[index][way] = None
+                self._dirty[index][way] = False

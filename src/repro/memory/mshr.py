@@ -1,0 +1,58 @@
+"""Miss Status Holding Registers.
+
+MSHRs bound the number of distinct outstanding cache-line misses and are
+what physically limits memory-level parallelism — the resource the secure
+schemes under-use and Doppelganger Loads recover.  Requests to a line that
+is already outstanding coalesce into the existing entry.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+
+class MSHRFile:
+    """Tracks outstanding misses as ``line -> completion cycle``."""
+
+    def __init__(self, entries: int):
+        if entries < 1:
+            raise ValueError("MSHR file needs at least one entry")
+        self.entries = entries
+        self._outstanding: Dict[int, int] = {}
+
+    def _expire(self, cycle: int) -> None:
+        if not self._outstanding:
+            return
+        done = [line for line, ready in self._outstanding.items() if ready <= cycle]
+        for line in done:
+            del self._outstanding[line]
+
+    def outstanding_completion(self, line: int, cycle: int) -> Optional[int]:
+        """If ``line`` has a miss in flight, its completion cycle."""
+        self._expire(cycle)
+        return self._outstanding.get(line)
+
+    def can_allocate(self, cycle: int) -> bool:
+        """Is a free entry available this cycle?"""
+        self._expire(cycle)
+        return len(self._outstanding) < self.entries
+
+    def allocate(self, line: int, completion: int, cycle: int) -> None:
+        """Reserve an entry until ``completion``.
+
+        Callers must check :meth:`can_allocate` (or be coalescing) first.
+        """
+        self._expire(cycle)
+        if line not in self._outstanding and len(self._outstanding) >= self.entries:
+            raise RuntimeError("MSHR allocation without a free entry")
+        existing = self._outstanding.get(line)
+        if existing is None or completion < existing:
+            self._outstanding[line] = completion
+
+    def in_flight(self, cycle: int) -> int:
+        """Number of outstanding misses at ``cycle``."""
+        self._expire(cycle)
+        return len(self._outstanding)
+
+    def reset(self) -> None:
+        self._outstanding.clear()

@@ -1,0 +1,71 @@
+"""Replacement policies for set-associative caches.
+
+Policies are stateless strategy objects: the cache supplies the per-way
+metadata (last-touch stamp and fill stamp) and the policy picks a victim.
+``DelayedLRU`` semantics for DoM (replacement updates deferred until a
+speculative hit commits) are implemented in the cache/core layer by simply
+not calling ``touch`` until commit; no special policy is required.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Protocol, Sequence
+
+
+class ReplacementPolicy(Protocol):
+    """Chooses a victim way given per-way metadata."""
+
+    def victim(self, touch_stamps: Sequence[int], fill_stamps: Sequence[int]) -> int:
+        """Return the index of the way to evict (all ways are valid)."""
+        ...
+
+
+class LRUPolicy:
+    """Evict the least-recently-touched way (the paper's default)."""
+
+    def victim(self, touch_stamps: Sequence[int], fill_stamps: Sequence[int]) -> int:
+        best_way = 0
+        best_stamp = touch_stamps[0]
+        for way in range(1, len(touch_stamps)):
+            if touch_stamps[way] < best_stamp:
+                best_stamp = touch_stamps[way]
+                best_way = way
+        return best_way
+
+
+class FIFOPolicy:
+    """Evict the oldest-filled way regardless of touches."""
+
+    def victim(self, touch_stamps: Sequence[int], fill_stamps: Sequence[int]) -> int:
+        best_way = 0
+        best_stamp = fill_stamps[0]
+        for way in range(1, len(fill_stamps)):
+            if fill_stamps[way] < best_stamp:
+                best_stamp = fill_stamps[way]
+                best_way = way
+        return best_way
+
+
+class RandomPolicy:
+    """Evict a uniformly random way (seeded for reproducibility)."""
+
+    def __init__(self, seed: int = 0):
+        self._rng = random.Random(seed)
+
+    def victim(self, touch_stamps: Sequence[int], fill_stamps: Sequence[int]) -> int:
+        return self._rng.randrange(len(touch_stamps))
+
+
+def make_policy(name: str, seed: int = 0) -> ReplacementPolicy:
+    """Factory used by configuration code and ablation benches."""
+    policies = {
+        "lru": LRUPolicy,
+        "fifo": FIFOPolicy,
+    }
+    lowered = name.lower()
+    if lowered == "random":
+        return RandomPolicy(seed)
+    if lowered not in policies:
+        raise ValueError(f"unknown replacement policy {name!r}")
+    return policies[lowered]()

@@ -1,0 +1,15 @@
+"""The out-of-order pipeline: micro-ops, shadows, and the core loop."""
+
+from repro.pipeline.core import Core
+from repro.pipeline.shadows import INFINITE_SEQ, ShadowTracker
+from repro.pipeline.uop import NO_FORWARD, UNTAINTED, MicroOp, UopState
+
+__all__ = [
+    "Core",
+    "INFINITE_SEQ",
+    "MicroOp",
+    "NO_FORWARD",
+    "ShadowTracker",
+    "UNTAINTED",
+    "UopState",
+]

@@ -1,0 +1,993 @@
+"""The out-of-order core.
+
+An execution-driven model: instructions are really executed — including
+wrong-path (transient) instructions, which are later squashed — so both the
+performance effects (MLP/ILP limits of the secure schemes) and the security
+arguments of the paper can be observed directly.
+
+The implementation is event-driven rather than scan-driven: instructions
+park on exactly the event that will un-block them, so per-cycle cost is
+proportional to *activity*, not window size:
+
+* **operand wakeup** — a consumer with unready sources registers on its
+  producers and is pushed into the ready heap when the last one becomes
+  readable (scoreboard style);
+* **frontier waits** — every scheme restriction in the paper reduces to
+  "wait until the shadow frontier reaches sequence number K" (NDA-P's
+  propagation lock, STT's transmitter delays, DoM's delayed misses,
+  DoM+AP's in-order branch resolution, the DoM doppelganger release).
+  Blocked instructions sit in a frontier-ordered heap and wake exactly
+  when the frontier passes their key;
+* **timed events** — ALU/memory completions, address generation, branch
+  resolution, and doppelganger releases fire from a time-ordered heap;
+* **idle skipping** — when nothing can issue, dispatch, or commit, the
+  clock jumps to the next timed event (memory-bound phases cost ~0).
+
+Cycle phases (oldest pipeline stage first): writeback → frontier wakeups →
+commit → issue → memory ports (real loads, then doppelgangers, then
+prefetches) → dispatch/fetch.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Deque, Dict, List, Optional, Tuple
+
+from repro.common.config import SystemConfig, default_config
+from repro.common.errors import SimulationLimitError
+from repro.common.stats import SimStats
+from repro.doppelganger.engine import DoppelgangerEngine
+from repro.isa.instructions import (
+    KIND_ALU,
+    KIND_CBRANCH,
+    KIND_HALT,
+    KIND_JMP,
+    KIND_LOAD,
+    KIND_NOP,
+    KIND_STORE,
+    branch_taken,
+    evaluate_alu,
+)
+from repro.isa.program import Program
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.pipeline.shadows import ShadowTracker
+from repro.pipeline.uop import NO_FORWARD, UNTAINTED, MicroOp, UopState
+from repro.predictors.branch import GShareBranchPredictor
+from repro.predictors.stride import make_stride_table
+from repro.schemes.base import READY, SecureScheme
+
+# Timed-event kinds.
+_EV_ALU = 0
+_EV_BRANCH = 1
+_EV_AGU_LOAD = 2
+_EV_AGU_STORE = 3
+_EV_MEM = 4
+_EV_DL = 5
+_EV_VP_VALIDATE = 6
+
+# Frontier-waiter reasons.
+_W_UNLOCK = 0   # a completed-but-locked producer becomes readable
+_W_REREADY = 1  # a gate-blocked IQ entry goes back to the ready heap
+_W_MEM = 2      # a gate-blocked load goes back to the memory queue
+_W_DL = 3       # a DoM doppelganger miss releases at its visibility point
+_W_BRANCH = 4   # a branch with a deferred resolution (STT taint, DoM+AP
+                # in-order rule) resolves once the frontier reaches its key
+
+# Producer-waiter kinds.
+_K_ISSUE = 0
+_K_STORE_DATA = 1
+
+_FORWARD_LATENCY = 2
+"""Cycles for a store-buffer forward to deliver data."""
+
+_DEADLOCK_WINDOW = 200_000
+"""Cycles without a commit before the core declares itself wedged."""
+
+_SQUASHED = UopState.SQUASHED
+_COMPLETED = UopState.COMPLETED
+_COMMITTED = UopState.COMMITTED
+
+
+class Core:
+    """One out-of-order core running one program under one scheme."""
+
+    def __init__(
+        self,
+        program: Program,
+        scheme: SecureScheme,
+        config: Optional[SystemConfig] = None,
+        stats: Optional[SimStats] = None,
+        hierarchy: Optional[MemoryHierarchy] = None,
+    ):
+        self.program = program
+        self.config = config if config is not None else default_config()
+        self.stats = stats if stats is not None else SimStats()
+        self.arch = program.initial_state()
+        self.hierarchy = (
+            hierarchy
+            if hierarchy is not None
+            else MemoryHierarchy(self.config.memory, self.stats)
+        )
+        self.hierarchy.stats = self.stats
+        self.bpred = GShareBranchPredictor(self.config.branch)
+        self.stride = make_stride_table(self.config.predictor)
+        self.shadows = ShadowTracker()
+        self.scheme = scheme
+        scheme.attach(self)
+        self.engine: Optional[DoppelgangerEngine] = (
+            DoppelgangerEngine(self) if scheme.address_prediction else None
+        )
+        if scheme.uses_value_prediction:
+            from repro.predictors.value import ValuePredictor
+
+            self.value_pred: Optional["ValuePredictor"] = ValuePredictor(
+                self.config.predictor
+            )
+        else:
+            self.value_pred = None
+
+        self.rob: Deque[MicroOp] = deque()
+        self.lq: Deque[MicroOp] = deque()
+        self.sq: Deque[MicroOp] = deque()
+        self.rename: Dict[int, MicroOp] = {}
+        self.iq_count = 0
+
+        self._ready: List[Tuple[int, MicroOp]] = []
+        self._mem_queue: List[Tuple[int, MicroOp]] = []
+        self._mem_retry: List[MicroOp] = []
+        self._events: List[Tuple[int, int, int, MicroOp]] = []
+        self._event_counter = 0
+        self._frontier_waiters: List[Tuple[int, int, int, MicroOp]] = []
+        self._prefetch_queue: Deque[int] = deque()
+
+        self.tracer = None
+        self.cycle = 0
+        self.next_seq = 0
+        self.fetch_pc = 0
+        self.fetch_stalled_until = 0
+        self.fetch_halted = False
+        self.halted = False
+        self._last_commit_cycle = 0
+
+    # ==================================================================
+    # Public API
+    # ==================================================================
+    def run(self, max_instructions: Optional[int] = None) -> SimStats:
+        """Simulate until the program halts (or the budget is reached)."""
+        limit = self.config.max_cycles
+        while not self.halted:
+            if max_instructions is not None and (
+                self.stats.committed_instructions >= max_instructions
+            ):
+                break
+            if self.cycle >= limit:
+                raise SimulationLimitError(
+                    f"{self.program.name}: exceeded {limit} cycles"
+                )
+            if self.cycle - self._last_commit_cycle > _DEADLOCK_WINDOW:
+                raise SimulationLimitError(
+                    f"{self.program.name}: no commit for {_DEADLOCK_WINDOW} cycles "
+                    f"at cycle {self.cycle} (pipeline deadlock)"
+                )
+            self.step()
+        self.stats.cycles = self.cycle
+        return self.stats
+
+    def step(self) -> None:
+        """Advance the core by one cycle (or skip an idle stretch)."""
+        now = self.cycle
+        self._writeback(now)
+        self._process_frontier(now)
+        self._commit(now)
+        if self.halted:
+            return
+        self._issue(now)
+        ports = self._schedule_memory(now, self.config.core.load_ports)
+        if self.engine is not None:
+            ports = self.engine.issue_spare(ports, now)
+        self._issue_prefetches(now, ports)
+        self._dispatch(now)
+        self.cycle = self._next_cycle(now)
+
+    def _next_cycle(self, now: int) -> int:
+        """``now + 1``, or a jump to the next timed event when idle."""
+        if (
+            self._ready
+            or self._mem_queue
+            or self._mem_retry
+            or self._prefetch_queue
+            or (self.engine is not None and self.engine.has_candidates())
+        ):
+            return now + 1
+        if not self._dispatch_blocked(now):
+            return now + 1
+        if self.rob and self.rob[0].completed:
+            return now + 1
+        candidates = []
+        if self._events:
+            candidates.append(self._events[0][0])
+        if not self.fetch_halted and self.fetch_stalled_until > now:
+            candidates.append(self.fetch_stalled_until)
+        if not candidates:
+            return now + 1
+        return max(now + 1, min(candidates))
+
+    def _dispatch_blocked(self, now: int) -> bool:
+        if self.fetch_halted or now + 1 < self.fetch_stalled_until:
+            return True
+        core_cfg = self.config.core
+        return (
+            len(self.rob) >= core_cfg.rob_entries
+            or self.iq_count >= core_cfg.iq_entries
+        )
+
+    def inject_invalidation(self, address: int) -> None:
+        """Model an external coherence invalidation reaching this core.
+
+        The line is invalidated in the caches and the load queue is
+        snooped: executed out-of-order loads with a matching address are
+        squashed (memory-consistency repair); doppelganger predicted
+        addresses are noted and handled at release (paper §4.5).
+        """
+        line = self.hierarchy.line_address(address)
+        self.hierarchy.invalidate(address)
+        violator: Optional[MicroOp] = None
+        for load in self.lq:
+            if load.squashed:
+                continue
+            if self.engine is not None and self.engine.on_invalidation(load, line):
+                self.stats.lq_invalidation_matches += 1
+            if (
+                load.result is not None
+                and load.address_ready
+                and self.hierarchy.line_address(load.address) == line
+                and self._has_incomplete_older_load(load)
+            ):
+                self.stats.lq_invalidation_matches += 1
+                if violator is None:
+                    violator = load
+        if violator is not None:
+            self._squash_from(violator.seq - 1, violator.pc, violator.bp_history)
+
+    # ==================================================================
+    # Phase 1: writeback (timed events)
+    # ==================================================================
+    def _writeback(self, now: int) -> None:
+        events = self._events
+        while events and events[0][0] <= now:
+            _, _, kind, uop = heapq.heappop(events)
+            if uop.state == _SQUASHED:
+                continue
+            if kind == _EV_ALU or kind == _EV_MEM:
+                self._complete(uop)
+            elif kind == _EV_BRANCH:
+                self._resolve_branch(uop, now)
+            elif kind == _EV_AGU_LOAD:
+                self._finish_load_agu(uop, now)
+            elif kind == _EV_AGU_STORE:
+                self._finish_store_agu(uop, now)
+            elif kind == _EV_DL:
+                self._release_doppelganger(uop, now)
+            elif kind == _EV_VP_VALIDATE:
+                self._validate_value_prediction(uop, now)
+
+    def _complete(self, uop: MicroOp) -> None:
+        if uop.state >= _COMPLETED:
+            return
+        uop.state = _COMPLETED
+        if self.tracer is not None:
+            self.tracer.on_complete(uop, self.cycle)
+        block = self.scheme.value_block_seq(uop)
+        if block != READY:
+            # Completed but locked (NDA-P): dependents wake when the
+            # shadow frontier reaches the producer itself.
+            self._wait_frontier(block, uop, _W_UNLOCK)
+        else:
+            self._notify_waiters(uop)
+
+    def _notify_waiters(self, producer: MicroOp) -> None:
+        waiters = producer.waiters
+        if not waiters:
+            return
+        producer.waiters = None
+        for consumer, kind in waiters:
+            if consumer.state == _SQUASHED:
+                continue
+            if kind == _K_ISSUE:
+                consumer.wait_count -= 1
+                if consumer.wait_count == 0 and consumer.in_iq:
+                    self._push_ready(consumer)
+            else:  # _K_STORE_DATA
+                consumer.result = producer.result or 0
+                consumer.store_data_ready = True
+                self._maybe_complete_store(consumer)
+
+    def _resolve_branch(self, branch: MicroOp, now: int) -> None:
+        # The outcome was computed at execute; the *resolution* (shadow
+        # clear, possible squash) may still be deferred by the scheme —
+        # STT while the predicate is tainted, DoM+AP until the branch is
+        # non-speculative (in-order resolution).  Deferred resolutions
+        # pipeline: each fires the moment the frontier reaches its key.
+        taint = self._operand_taint(branch) if self.scheme.uses_taint else UNTAINTED
+        block = self.scheme.branch_block_seq(branch, taint)
+        if block != READY:
+            self._wait_frontier(block, branch, _W_BRANCH)
+            return
+        branch.branch_resolved = True
+        self.shadows.branch_resolved(branch.seq)
+        self._complete(branch)
+        if branch.actual_taken != branch.predicted_taken:
+            self.stats.branch_mispredictions += 1
+            self.bpred.record_mispredict()
+            self.bpred.restore_history(branch.bp_history, branch.actual_taken)
+            target = branch.inst.imm if branch.actual_taken else branch.pc + 1
+            self._squash_from(branch.seq, target, history_restored=True)
+
+    def _finish_load_agu(self, load: MicroOp, now: int) -> None:
+        load.address_ready = True
+        if self.config.predictor.train_on_execute:
+            # INSECURE ablation path: observes speculative/wrong-path
+            # addresses (see PredictorConfig.train_on_execute).
+            self.stride.train_commit(load.pc, load.address)
+        if self.engine is not None:
+            self.engine.on_address_resolved(load, now)
+        if not (load.has_doppelganger and load.dl_correct):
+            self._push_mem(load)
+
+    def _finish_store_agu(self, store: MicroOp, now: int) -> None:
+        store.address_ready = True
+        self.shadows.store_address_resolved(store.seq)
+        self._maybe_complete_store(store)
+        self._check_violations(store)
+
+    def _check_violations(self, store: MicroOp) -> None:
+        """Memory-order violation: a younger load already bound a value for
+        this store's word without forwarding from it (or something
+        younger).  Squash from the oldest violator and refetch it."""
+        word = store.word_address
+        violator: Optional[MicroOp] = None
+        for load in self.lq:
+            if load.squashed or load.seq < store.seq or load.result is None:
+                continue
+            if not load.address_ready or load.word_address != word:
+                continue
+            if load.forward_source_seq >= store.seq:
+                continue
+            violator = load
+            break
+        if violator is not None:
+            self._squash_from(violator.seq - 1, violator.pc, violator.bp_history)
+
+    def _release_doppelganger(self, load: MicroOp, now: int) -> None:
+        """A verified-correct doppelganger's value becomes the load result."""
+        if load.state == _SQUASHED or load.completed or load.executed:
+            return
+        if load.dl_invalidated:
+            # §4.5: a noted invalidation takes effect at propagation time —
+            # discard the preload and fall back to a real access.
+            load.dl_cancelled = True
+            load.dl_correct = False
+            self._push_mem(load)
+            return
+        if not self._bind_load_value(load):
+            # A matching older store exists but its data is not ready yet;
+            # store-to-load forwarding will override the preload as soon as
+            # the data arrives (§4.4).  Retry next cycle.
+            self._schedule(now + 1, _EV_DL, load)
+            return
+        load.dl_used = True
+        load.executed = True
+        if load.forward_source_seq != NO_FORWARD:
+            load.dl_forwarded = True
+            self.stats.dl_forwarded += 1
+        if self.scheme.uses_taint:
+            load.taint = self.scheme.load_result_taint(load)
+        self.stats.dl_released_early += 1
+        self._complete(load)
+
+    def _bind_load_value(self, load: MicroOp) -> bool:
+        """Functionally bind the load's value (forwarding-aware).
+
+        Returns False when an address-matching older store's data is not
+        yet available (the caller must retry).
+        """
+        word = load.word_address
+        for store in reversed(self.sq):
+            if store.squashed or store.seq > load.seq:
+                continue
+            if not store.address_ready or store.word_address != word:
+                continue
+            if not store.store_data_ready:
+                return False
+            load.result = store.result
+            load.forward_source_seq = store.seq
+            return True
+        load.result = self.arch.read_mem(load.address)
+        load.forward_source_seq = NO_FORWARD
+        return True
+
+    # ==================================================================
+    # Phase 2: frontier wakeups
+    # ==================================================================
+    def _wait_frontier(self, key: int, uop: MicroOp, reason: int) -> None:
+        self._event_counter += 1
+        heapq.heappush(self._frontier_waiters, (key, self._event_counter, reason, uop))
+
+    def defer_until_nonspec(self, load: MicroOp) -> None:
+        """Queue a doppelganger release for the load's visibility point."""
+        self._wait_frontier(load.seq, load, _W_DL)
+
+    def schedule_dl_release(self, load: MicroOp, when: int) -> None:
+        self._schedule(when, _EV_DL, load)
+
+    def _process_frontier(self, now: int) -> None:
+        waiters = self._frontier_waiters
+        if not waiters:
+            return
+        frontier = self.shadows.frontier()
+        while waiters and waiters[0][0] <= frontier:
+            _, _, reason, uop = heapq.heappop(waiters)
+            if uop.state == _SQUASHED:
+                continue
+            if reason == _W_UNLOCK:
+                self._notify_waiters(uop)
+            elif reason == _W_REREADY:
+                if uop.in_iq:
+                    self._push_ready(uop)
+            elif reason == _W_MEM:
+                if not uop.executed and (not uop.completed or uop.vp_active):
+                    self._push_mem(uop)
+            elif reason == _W_BRANCH:
+                if not uop.branch_resolved:
+                    self._resolve_branch(uop, now)
+            else:  # _W_DL
+                if not uop.executed and not uop.completed:
+                    self._schedule(
+                        max(uop.dl_completion_cycle, now + 1), _EV_DL, uop
+                    )
+
+    # ==================================================================
+    # Phase 3: commit
+    # ==================================================================
+    def _commit(self, now: int) -> None:
+        rob = self.rob
+        if not rob or not rob[0].completed:
+            return
+        width = self.config.core.commit_width
+        stores_left = self.config.core.store_ports
+        stats = self.stats
+        while width > 0 and rob:
+            uop = rob[0]
+            if not uop.completed:
+                break
+            inst = uop.inst
+            kind = inst.kind
+            if kind == KIND_STORE and stores_left <= 0:
+                break
+            if kind == KIND_LOAD and uop.vp_active:
+                # DoM+VP: a predicted value propagated speculatively but
+                # cannot become architectural before validation.
+                break
+            rob.popleft()
+            uop.state = _COMMITTED
+            self._last_commit_cycle = now
+            if self.tracer is not None:
+                self.tracer.on_commit(uop, now)
+            width -= 1
+            stats.committed_instructions += 1
+            if inst.writes:
+                self.arch.write_reg(inst.rd, uop.result or 0)
+                if self.rename.get(inst.rd) is uop:
+                    del self.rename[inst.rd]
+            if kind == KIND_LOAD:
+                self._commit_load(uop, now)
+            elif kind == KIND_STORE:
+                self._commit_store(uop, now)
+                stores_left -= 1
+            elif kind == KIND_CBRANCH:
+                stats.committed_branches += 1
+                self.bpred.train(uop.pc, uop.actual_taken, uop.bp_history)
+            elif kind == KIND_HALT:
+                self.halted = True
+                self.stats.cycles = self.cycle
+                return
+            if uop.waiters:
+                self._notify_waiters(uop)
+
+    def _commit_load(self, load: MicroOp, now: int) -> None:
+        stats = self.stats
+        stats.committed_loads += 1
+        if self.lq and self.lq[0] is load:
+            self.lq.popleft()
+        else:  # pragma: no cover - defensive; loads commit in order
+            self._drop(self.lq, load)
+        if load.dom_touch_pending:
+            self.hierarchy.touch(load.address, now)
+        # Commit is the *only* place predictors are trained — the
+        # security-critical invariant for both the prefetcher and the
+        # Doppelganger address predictor.  (train_on_execute is the
+        # insecure ablation that moves training to address generation.)
+        if not self.config.predictor.train_on_execute:
+            self.stride.train_commit(load.pc, load.address)
+        if self.value_pred is not None:
+            self.value_pred.train_commit(load.pc, load.result or 0)
+        if self.config.prefetch_enabled:
+            for candidate in self.stride.prefetch_candidates(load.pc, load.address):
+                if self.hierarchy.residency(candidate) != 1:
+                    self._prefetch_queue.append(candidate)
+        if self.engine is not None:
+            self.engine.on_commit(load)
+
+    def _commit_store(self, store: MicroOp, now: int) -> None:
+        self.stats.committed_stores += 1
+        if self.sq and self.sq[0] is store:
+            self.sq.popleft()
+        else:  # pragma: no cover - defensive; stores commit in order
+            self._drop(self.sq, store)
+        self.arch.write_mem(store.address, store.result or 0)
+        self.hierarchy.access(store.address, now, is_write=True)
+
+    @staticmethod
+    def _drop(queue: Deque[MicroOp], uop: MicroOp) -> None:
+        try:
+            queue.remove(uop)
+        except ValueError:
+            pass
+
+    # ==================================================================
+    # Phase 4: issue
+    # ==================================================================
+    def _push_ready(self, uop: MicroOp) -> None:
+        if not uop.in_ready:
+            uop.in_ready = True
+            heapq.heappush(self._ready, (uop.seq, uop))
+
+    def _push_mem(self, load: MicroOp) -> None:
+        heapq.heappush(self._mem_queue, (load.seq, load))
+
+    def _source_blocked(self, producer: Optional[MicroOp]) -> bool:
+        if producer is None:
+            return False
+        state = producer.state
+        if state == _COMMITTED:
+            return False
+        if state < _COMPLETED:
+            return True
+        return self.scheme.value_block_seq(producer) != READY
+
+    def _operand_value(self, producer: Optional[MicroOp], snapshot: int) -> int:
+        if producer is None:
+            return snapshot
+        return producer.result or 0
+
+    def _operand_taint(self, uop: MicroOp) -> int:
+        taint = self._address_taint(uop)
+        producer = uop.src2_uop
+        if producer is not None and producer.state != _COMMITTED and producer.taint > taint:
+            taint = producer.taint
+        return taint
+
+    @staticmethod
+    def _address_taint(uop: MicroOp) -> int:
+        producer = uop.src1_uop
+        if producer is not None and producer.state != _COMMITTED:
+            return producer.taint
+        return UNTAINTED
+
+    def _issue(self, now: int) -> None:
+        width = self.config.core.issue_width
+        ready = self._ready
+        scheme = self.scheme
+        uses_taint = scheme.uses_taint
+        while width > 0 and ready:
+            _, uop = heapq.heappop(ready)
+            uop.in_ready = False
+            if uop.state == _SQUASHED or not uop.in_iq:
+                continue
+            inst = uop.inst
+            if inst.kind == KIND_STORE:
+                # Only the *address* operand (rs1) gates store resolution;
+                # tainted store data is harmless until forwarded, and a
+                # forwarded value can never out-live its taint (monotone
+                # frontier: the consumer goes non-speculative only after
+                # the taint root does).
+                taint = self._address_taint(uop) if uses_taint else UNTAINTED
+                block = scheme.store_block_seq(uop, taint)
+                if block != READY:
+                    self._wait_frontier(block, uop, _W_REREADY)
+                    continue
+            uop.in_iq = False
+            self.iq_count -= 1
+            uop.issue_cycle = now
+            if self.tracer is not None:
+                self.tracer.on_issue(uop, now)
+            self._execute(uop, now)
+            width -= 1
+
+    def _execute(self, uop: MicroOp, now: int) -> None:
+        """Functionally execute and schedule the completion event."""
+        inst = uop.inst
+        kind = inst.kind
+        producer = uop.src1_uop
+        value1 = uop.src1_value if producer is None else (producer.result or 0)
+        if kind == KIND_LOAD:
+            uop.address = (value1 + inst.imm) & ((1 << 64) - 1)
+            if self.scheme.uses_taint:
+                uop.taint = self._address_taint(uop)
+            self._schedule(now + 1, _EV_AGU_LOAD, uop)
+            return
+        if kind == KIND_STORE:
+            uop.address = (value1 + inst.imm) & ((1 << 64) - 1)
+            self._schedule(now + 1, _EV_AGU_STORE, uop)
+            return
+        producer = uop.src2_uop
+        value2 = uop.src2_value if producer is None else (producer.result or 0)
+        if kind == KIND_CBRANCH:
+            uop.actual_taken = branch_taken(inst.opcode, value1, value2)
+            # Resolution cannot happen before the branch has traversed the
+            # front-end + execute pipeline (a *floor* measured from fetch,
+            # modelling pipeline depth) — but a branch whose operand
+            # arrived late has long since been fetched and resolves within
+            # a couple of cycles of issue.
+            resolve_at = max(
+                now + self.config.core.branch_resolve_latency,
+                uop.dispatch_cycle + 1 + self.config.core.branch_resolution_delay,
+            )
+            self._schedule(resolve_at, _EV_BRANCH, uop)
+            return
+        # ALU (LI/MOV included); result computed now, visible after latency.
+        operand_b = inst.imm if inst.rs2 is None else value2
+        uop.result = evaluate_alu(inst.opcode, value1, operand_b)
+        if self.scheme.uses_taint:
+            uop.taint = self._operand_taint(uop)
+        latency = (
+            self.config.core.mul_latency
+            if inst.is_mul
+            else self.config.core.alu_latency
+        )
+        self._schedule(now + latency, _EV_ALU, uop)
+
+    # ==================================================================
+    # Phase 5: memory ports
+    # ==================================================================
+    def _schedule_memory(self, now: int, ports: int) -> int:
+        if self._mem_retry:
+            for load in self._mem_retry:
+                if load.state != _SQUASHED:
+                    self._push_mem(load)
+            self._mem_retry.clear()
+        queue = self._mem_queue
+        scheme = self.scheme
+        while ports > 0 and queue:
+            _, load = heapq.heappop(queue)
+            if load.state == _SQUASHED or load.executed:
+                continue
+            if load.completed and not load.vp_active:
+                continue
+            if load.has_doppelganger and load.dl_correct:
+                continue  # value arrives via the doppelganger release
+            block = scheme.load_block_seq(load)
+            if block != READY:
+                self._wait_frontier(block, load, _W_MEM)
+                continue
+            forwarded, blocked, store = self._try_forward(load)
+            if blocked:
+                self._mem_retry.append(load)
+                continue
+            ports -= 1
+            if forwarded:
+                assert store is not None
+                load.result = store.result
+                load.forward_source_seq = store.seq
+                load.executed = True
+                self.stats.store_to_load_forwards += 1
+                self._finish_load(load, now + _FORWARD_LATENCY, level=0)
+                continue
+            if not load.dom_delayed and scheme.load_is_probe(load):
+                if self.hierarchy.probe(load.address, now):
+                    load.executed = True
+                    load.dom_touch_pending = True
+                    self._bind_memory_value(load)
+                    self._finish_load(load, now + self.config.memory.l1.latency, 1)
+                else:
+                    load.dom_delayed = True
+                    self.stats.dom_delayed_misses += 1
+                    self._wait_frontier(load.seq, load, _W_MEM)
+                    if self.value_pred is not None and not load.vp_active:
+                        self._speculate_value(load, now)
+                continue
+            result = self.hierarchy.access(load.address, now)
+            if result.retry:
+                self._mem_retry.append(load)
+                continue
+            if load.dom_delayed:
+                self.stats.dom_reissued_loads += 1
+            load.executed = True
+            if load.vp_active:
+                # The delayed miss finally performed its real access:
+                # validate the speculatively propagated value against it.
+                load.vp_real_value = self._memory_view(load)
+                load.access_level = result.level
+                self._schedule(now + result.latency, _EV_VP_VALIDATE, load)
+                continue
+            self._bind_memory_value(load)
+            self._finish_load(load, now + result.latency, result.level)
+        return ports
+
+    def _speculate_value(self, load: MicroOp, now: int) -> None:
+        """DoM+VP: a delayed miss propagates a *predicted value* that will
+        be validated when the real access returns (squash on mismatch)."""
+        predicted = self.value_pred.predict_current(load.pc)
+        if predicted is None:
+            return
+        self.stats.vp_predictions += 1
+        load.vp_active = True
+        load.result = predicted
+        load.forward_source_seq = NO_FORWARD
+        self._schedule(now + self.config.memory.l1.latency, _EV_MEM, load)
+
+    def _memory_view(self, load: MicroOp) -> int:
+        """The value the load's real access observes (forwarding-aware)."""
+        word = load.word_address
+        for store in reversed(self.sq):
+            if store.squashed or store.seq > load.seq:
+                continue
+            if store.address_ready and store.word_address == word:
+                if store.store_data_ready:
+                    return store.result or 0
+                break
+        return self.arch.read_mem(load.address)
+
+    def _validate_value_prediction(self, load: MicroOp, now: int) -> None:
+        if load.state == _SQUASHED or not load.vp_active:
+            return
+        load.vp_active = False
+        if load.vp_real_value == load.result:
+            self.stats.vp_correct += 1
+            return
+        # Mispredicted value: dependents consumed garbage — squash every
+        # younger instruction and refetch after the load; the load itself
+        # keeps the (now corrected) real value.
+        self.stats.vp_wrong += 1
+        self.stats.vp_squashes += 1
+        load.result = load.vp_real_value
+        self._squash_from(load.seq, load.pc + 1, load.bp_history)
+
+    def _try_forward(
+        self, load: MicroOp
+    ) -> Tuple[bool, bool, Optional[MicroOp]]:
+        """Store-to-load forwarding lookup.
+
+        Returns ``(forwarded, blocked, store)``: *forwarded* when a
+        matching older store with ready data exists, *blocked* when the
+        match exists but its data is not ready yet.
+        """
+        word = load.word_address
+        for store in reversed(self.sq):
+            if store.squashed or store.seq > load.seq:
+                continue
+            if not store.address_ready or store.word_address != word:
+                continue
+            if store.store_data_ready:
+                return True, False, store
+            return False, True, store
+        return False, False, None
+
+    def _bind_memory_value(self, load: MicroOp) -> None:
+        load.result = self.arch.read_mem(load.address)
+        load.forward_source_seq = NO_FORWARD
+
+    def _finish_load(self, load: MicroOp, completion: int, level: int) -> None:
+        load.access_level = level
+        if self.scheme.uses_taint:
+            load.taint = self.scheme.load_result_taint(load)
+        self._schedule(completion, _EV_MEM, load)
+
+    def _issue_prefetches(self, now: int, ports: int) -> None:
+        queue = self._prefetch_queue
+        while ports > 0 and queue:
+            address = queue.popleft()
+            ports -= 1
+            result = self.hierarchy.access(address, now)
+            if not result.retry:
+                self.stats.prefetches_issued += 1
+                if not result.l1_hit:
+                    self.stats.prefetch_fills += 1
+
+    def _maybe_complete_store(self, store: MicroOp) -> None:
+        if store.address_ready and store.store_data_ready:
+            self._complete(store)
+
+    # ==================================================================
+    # Phase 6: dispatch / fetch
+    # ==================================================================
+    def _dispatch(self, now: int) -> None:
+        if self.fetch_halted or now < self.fetch_stalled_until:
+            return
+        core_cfg = self.config.core
+        rob, lq, sq = self.rob, self.lq, self.sq
+        program_fetch = self.program.fetch
+        for _ in range(core_cfg.decode_width):
+            if len(rob) >= core_cfg.rob_entries or self.iq_count >= core_cfg.iq_entries:
+                return
+            inst = program_fetch(self.fetch_pc)
+            if inst is None:
+                # Fetch ran past the program (wrong path); a
+                # squash-and-redirect restarts it.
+                self.fetch_halted = True
+                return
+            kind = inst.kind
+            if kind == KIND_LOAD and len(lq) >= core_cfg.lq_entries:
+                return
+            if kind == KIND_STORE and len(sq) >= core_cfg.sq_entries:
+                return
+            uop = MicroOp(self.next_seq, self.fetch_pc, inst, now)
+            self.next_seq += 1
+            self.stats.fetched_instructions += 1
+            if self.tracer is not None:
+                self.tracer.on_dispatch(uop, now)
+            uop.bp_history = self.bpred.history
+            self._rename_sources(uop)
+            if inst.writes:
+                self._rename_destination(uop)
+            rob.append(uop)
+            next_pc = self.fetch_pc + 1
+            taken_transfer = False
+            if kind == KIND_ALU:
+                self._enter_iq(uop, wait_rs2=True)
+            elif kind == KIND_LOAD:
+                lq.append(uop)
+                self._enter_iq(uop, wait_rs2=False)
+                if self.engine is not None:
+                    self.engine.on_dispatch(uop)
+            elif kind == KIND_STORE:
+                sq.append(uop)
+                self.shadows.store_dispatched(uop.seq)
+                self._enter_iq(uop, wait_rs2=False)
+                self._bind_store_data(uop)
+            elif kind == KIND_CBRANCH:
+                self.shadows.branch_dispatched(uop.seq)
+                uop.predicted_taken = self.bpred.predict(uop.pc)
+                self._enter_iq(uop, wait_rs2=True)
+                if uop.predicted_taken:
+                    next_pc = inst.imm
+                    taken_transfer = True
+            elif kind == KIND_JMP:
+                uop.actual_taken = uop.predicted_taken = True
+                uop.branch_resolved = True
+                self._complete(uop)
+                next_pc = inst.imm
+                taken_transfer = True
+            elif kind == KIND_HALT:
+                self._complete(uop)
+                self.fetch_pc = next_pc
+                self.fetch_halted = True
+                return
+            else:  # NOP
+                self._complete(uop)
+            self.fetch_pc = next_pc
+            if taken_transfer:
+                return  # one taken control transfer per fetch group
+
+    def _enter_iq(self, uop: MicroOp, wait_rs2: bool) -> None:
+        """Register operand waits and enter the (virtual) issue queue."""
+        uop.in_iq = True
+        self.iq_count += 1
+        waits = 0
+        producer = uop.src1_uop
+        if producer is not None and self._source_blocked(producer):
+            if producer.waiters is None:
+                producer.waiters = []
+            producer.waiters.append((uop, _K_ISSUE))
+            waits += 1
+        if wait_rs2:
+            producer = uop.src2_uop
+            if producer is not None and self._source_blocked(producer):
+                if producer.waiters is None:
+                    producer.waiters = []
+                producer.waiters.append((uop, _K_ISSUE))
+                waits += 1
+        uop.wait_count = waits
+        if waits == 0:
+            self._push_ready(uop)
+
+    def _bind_store_data(self, store: MicroOp) -> None:
+        producer = store.src2_uop
+        if producer is None:
+            store.result = store.src2_value
+            store.store_data_ready = True
+        elif not self._source_blocked(producer):
+            store.result = producer.result or 0
+            store.store_data_ready = True
+        else:
+            if producer.waiters is None:
+                producer.waiters = []
+            producer.waiters.append((store, _K_STORE_DATA))
+
+    def _rename_sources(self, uop: MicroOp) -> None:
+        inst = uop.inst
+        rename = self.rename
+        if inst.rs1 is not None and inst.rs1 != 0:
+            producer = rename.get(inst.rs1)
+            if producer is not None:
+                uop.src1_uop = producer
+            else:
+                uop.src1_value = self.arch.read_reg(inst.rs1)
+        if inst.rs2 is not None and inst.rs2 != 0:
+            producer = rename.get(inst.rs2)
+            if producer is not None:
+                uop.src2_uop = producer
+            else:
+                uop.src2_value = self.arch.read_reg(inst.rs2)
+
+    def _rename_destination(self, uop: MicroOp) -> None:
+        inst = uop.inst
+        uop.prev_producer = self.rename.get(inst.rd)
+        uop.had_prev_producer = uop.prev_producer is not None
+        self.rename[inst.rd] = uop
+
+    # ==================================================================
+    # Squash
+    # ==================================================================
+    def _squash_from(
+        self,
+        boundary_seq: int,
+        redirect_pc: int,
+        history_snapshot: Optional[int] = None,
+        history_restored: bool = False,
+    ) -> None:
+        """Squash everything younger than ``boundary_seq`` and refetch."""
+        rob = self.rob
+        squashed = 0
+        while rob and rob[-1].seq > boundary_seq:
+            uop = rob.pop()
+            uop.state = _SQUASHED
+            squashed += 1
+            if self.tracer is not None:
+                self.tracer.on_squash(uop, self.cycle)
+            if uop.in_iq:
+                uop.in_iq = False
+                self.iq_count -= 1
+            inst = uop.inst
+            kind = inst.kind
+            if inst.writes and self.rename.get(inst.rd) is uop:
+                if uop.prev_producer is not None:
+                    self.rename[inst.rd] = uop.prev_producer
+                else:
+                    del self.rename[inst.rd]
+            if kind == KIND_CBRANCH and not uop.branch_resolved:
+                self.shadows.caster_squashed(uop.seq, is_branch=True)
+            elif kind == KIND_STORE and not uop.address_ready:
+                self.shadows.caster_squashed(uop.seq, is_branch=False)
+            if kind == KIND_LOAD and self.engine is not None:
+                self.engine.on_squash(uop)
+        if squashed:
+            self.stats.squashed_instructions += squashed
+            self._prune(self.lq)
+            self._prune(self.sq)
+        if not history_restored and history_snapshot is not None:
+            self.bpred.history = history_snapshot
+        self.fetch_pc = redirect_pc
+        self.fetch_halted = False
+        self.fetch_stalled_until = self.cycle + 1 + self.config.core.mispredict_penalty
+
+    @staticmethod
+    def _prune(queue: Deque[MicroOp]) -> None:
+        while queue and queue[-1].squashed:
+            queue.pop()
+
+    def _has_incomplete_older_load(self, load: MicroOp) -> bool:
+        for other in self.lq:
+            if other.seq >= load.seq:
+                return False
+            if not other.squashed and other.result is None:
+                return True
+        return False
+
+    # ==================================================================
+    # Event plumbing
+    # ==================================================================
+    def _schedule(self, when: int, kind: int, uop: MicroOp) -> None:
+        self._event_counter += 1
+        heapq.heappush(self._events, (when, self._event_counter, kind, uop))

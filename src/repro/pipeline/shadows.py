@@ -1,0 +1,129 @@
+"""Shadow tracking (Ghost Loads / Delay-on-Miss style).
+
+An instruction is *speculative* while it is covered by a shadow:
+
+* **E-shadow (control)** — some older branch is unresolved, or
+* **M-shadow (memory)** — some older store has an unresolved address.
+
+The paper's schemes (§5) track exactly these two sources.  We represent
+each source as a set of unresolved sequence numbers and expose the *shadow
+frontier*: the smallest unresolved sequence number.  An instruction with
+``seq`` is non-speculative iff no unresolved shadow caster is older than
+it, i.e. ``frontier() > seq``.
+
+Correctness of the monotone-frontier trick: sequence numbers are assigned
+in fetch order and casters are inserted in that order, so the oldest
+unresolved caster is always the first live entry of an insertion-ordered
+deque; resolution and squash remove entries but never add older ones,
+hence the frontier never moves backwards for a fixed instruction window.
+This gives O(1) amortized speculation queries, which both STT's
+visibility point and NDA's propagation release reduce to.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Set
+
+INFINITE_SEQ = 1 << 62
+"""Frontier value when no shadow caster is outstanding."""
+
+
+class _CasterQueue:
+    """Insertion-ordered unresolved sequence numbers with lazy deletion."""
+
+    __slots__ = ("_queue", "_removed", "_live")
+
+    def __init__(self) -> None:
+        self._queue: Deque[int] = deque()
+        self._removed: Set[int] = set()
+        self._live = 0
+
+    def add(self, seq: int) -> None:
+        if self._queue and seq <= self._queue[-1]:
+            raise ValueError("shadow casters must be added in sequence order")
+        self._queue.append(seq)
+        self._live += 1
+
+    def remove(self, seq: int) -> None:
+        """Mark ``seq`` resolved (or squashed).  Idempotent."""
+        if seq in self._removed:
+            return
+        self._removed.add(seq)
+        self._live -= 1
+        self._compact()
+
+    def _compact(self) -> None:
+        queue = self._queue
+        removed = self._removed
+        while queue and queue[0] in removed:
+            removed.discard(queue.popleft())
+
+    def oldest(self) -> int:
+        """The oldest unresolved sequence number, or INFINITE_SEQ."""
+        self._compact()
+        return self._queue[0] if self._queue else INFINITE_SEQ
+
+    def __len__(self) -> int:
+        return self._live
+
+    def clear(self) -> None:
+        self._queue.clear()
+        self._removed.clear()
+        self._live = 0
+
+
+class ShadowTracker:
+    """Tracks control and store-address shadows and answers speculation
+    queries for the core, the schemes, and the doppelganger engine."""
+
+    def __init__(self) -> None:
+        self._branches = _CasterQueue()
+        self._stores = _CasterQueue()
+
+    # ------------------------------------------------------------------
+    # Caster lifecycle (called by the core)
+    # ------------------------------------------------------------------
+    def branch_dispatched(self, seq: int) -> None:
+        self._branches.add(seq)
+
+    def branch_resolved(self, seq: int) -> None:
+        self._branches.remove(seq)
+
+    def store_dispatched(self, seq: int) -> None:
+        self._stores.add(seq)
+
+    def store_address_resolved(self, seq: int) -> None:
+        self._stores.remove(seq)
+
+    def caster_squashed(self, seq: int, is_branch: bool) -> None:
+        if is_branch:
+            self._branches.remove(seq)
+        else:
+            self._stores.remove(seq)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def frontier(self) -> int:
+        """Oldest unresolved shadow caster's seq (INFINITE_SEQ when none)."""
+        branch_oldest = self._branches.oldest()
+        store_oldest = self._stores.oldest()
+        return branch_oldest if branch_oldest < store_oldest else store_oldest
+
+    def is_speculative(self, seq: int) -> bool:
+        """Is the instruction with ``seq`` still covered by a shadow?"""
+        return self.frontier() < seq
+
+    def is_nonspeculative(self, seq: int) -> bool:
+        return self.frontier() >= seq
+
+    def unresolved_branches(self) -> int:
+        return len(self._branches)
+
+    def unresolved_stores(self) -> int:
+        return len(self._stores)
+
+    def reset(self) -> None:
+        self._branches.clear()
+        self._stores.clear()

@@ -1,0 +1,191 @@
+"""Dynamic instruction state (micro-ops).
+
+A :class:`MicroOp` wraps one dynamic instance of a static instruction with
+everything the out-of-order core, the secure-speculation scheme, and the
+doppelganger engine need to track: renamed operands, execution state,
+taint, shadow status, and doppelganger bookkeeping.
+
+``__slots__`` keeps the per-instruction footprint small — a simulation
+creates one MicroOp per fetched (including wrong-path) instruction.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+from repro.isa.instructions import Instruction
+
+UNTAINTED = -1
+"""Taint value meaning "not derived from any speculative load"."""
+
+NO_FORWARD = -1
+"""forward_source_seq value when the load's data came from memory."""
+
+
+class UopState(enum.IntEnum):
+    """Lifecycle of a micro-op.
+
+    Loads add orthogonal sub-state (address_ready, executed, completed)
+    because address generation and the memory access are separate events.
+    """
+
+    DISPATCHED = 0
+    ISSUED = 1
+    COMPLETED = 2
+    COMMITTED = 3
+    SQUASHED = 4
+
+
+class MicroOp:
+    """One dynamic instruction in flight."""
+
+    __slots__ = (
+        "seq",
+        "pc",
+        "inst",
+        "state",
+        # Renamed sources: producing MicroOp or a snapshotted value.
+        "src1_uop",
+        "src1_value",
+        "src2_uop",
+        "src2_value",
+        "prev_producer",
+        "had_prev_producer",
+        # Results
+        "result",
+        "completion_cycle",
+        "issue_cycle",
+        "dispatch_cycle",
+        # Taint (STT): max sequence number of any speculative root load.
+        "taint",
+        # Branch state
+        "predicted_taken",
+        "actual_taken",
+        "predicted_target",
+        "branch_resolved",
+        "bp_history",
+        # Load/store state
+        # Scoreboard wakeup state
+        "waiters",
+        "wait_count",
+        "in_iq",
+        "in_ready",
+        "address",
+        "address_ready",
+        "executed",
+        "store_data_ready",
+        "forward_source_seq",
+        "dom_delayed",
+        "dom_touch_pending",
+        "access_level",
+        "waiting_for_nonspec",
+        # Doppelganger state
+        "dl_predicted_address",
+        "dl_issued",
+        "dl_completion_cycle",
+        "dl_l1_hit",
+        "dl_verified",
+        "dl_correct",
+        "dl_cancelled",
+        "dl_invalidated",
+        "dl_forwarded",
+        "dl_used",
+        # Value prediction (DoM+VP extension)
+        "vp_active",
+        "vp_real_value",
+    )
+
+    def __init__(self, seq: int, pc: int, inst: Instruction, cycle: int):
+        self.seq = seq
+        self.pc = pc
+        self.inst = inst
+        self.state = UopState.DISPATCHED
+        self.src1_uop: Optional["MicroOp"] = None
+        self.src1_value = 0
+        self.src2_uop: Optional["MicroOp"] = None
+        self.src2_value = 0
+        self.prev_producer: Optional["MicroOp"] = None
+        self.had_prev_producer = False
+        self.result: Optional[int] = None
+        self.completion_cycle = -1
+        self.issue_cycle = -1
+        self.dispatch_cycle = cycle
+        self.taint = UNTAINTED
+        self.waiters: Optional[list] = None
+        self.wait_count = 0
+        self.in_iq = False
+        self.in_ready = False
+        self.predicted_taken = False
+        self.actual_taken = False
+        self.predicted_target = -1
+        self.branch_resolved = False
+        self.bp_history = 0
+        self.address = -1
+        self.address_ready = False
+        self.executed = False
+        self.store_data_ready = False
+        self.forward_source_seq = NO_FORWARD
+        self.dom_delayed = False
+        self.dom_touch_pending = False
+        self.access_level = 0
+        self.waiting_for_nonspec = False
+        self.dl_predicted_address: Optional[int] = None
+        self.dl_issued = False
+        self.dl_completion_cycle = -1
+        self.dl_l1_hit = False
+        self.dl_verified = False
+        self.dl_correct = False
+        self.dl_cancelled = False
+        self.dl_invalidated = False
+        self.dl_forwarded = False
+        self.dl_used = False
+        self.vp_active = False
+        self.vp_real_value = 0
+
+    # ------------------------------------------------------------------
+    # State predicates
+    # ------------------------------------------------------------------
+    @property
+    def squashed(self) -> bool:
+        return self.state == UopState.SQUASHED
+
+    @property
+    def committed(self) -> bool:
+        return self.state == UopState.COMMITTED
+
+    @property
+    def completed(self) -> bool:
+        return self.state >= UopState.COMPLETED and self.state != UopState.SQUASHED
+
+    @property
+    def in_flight(self) -> bool:
+        return self.state < UopState.COMMITTED
+
+    @property
+    def is_load(self) -> bool:
+        return self.inst.is_load
+
+    @property
+    def is_store(self) -> bool:
+        return self.inst.is_store
+
+    @property
+    def is_branch(self) -> bool:
+        return self.inst.is_branch
+
+    @property
+    def has_doppelganger(self) -> bool:
+        """An address prediction exists and has not been cancelled."""
+        return self.dl_predicted_address is not None and not self.dl_cancelled
+
+    @property
+    def word_address(self) -> int:
+        """The 8-byte-aligned address (forwarding/violation granularity)."""
+        return self.address & ~7
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"MicroOp(seq={self.seq}, pc={self.pc}, "
+            f"{self.inst.disassemble()!r}, state={self.state.name})"
+        )

@@ -1,0 +1,22 @@
+"""Predictors: branch direction and the shared stride table."""
+
+from repro.predictors.branch import GShareBranchPredictor
+from repro.predictors.stride import (
+    StrideEntry,
+    StrideTable,
+    TwoDeltaEntry,
+    TwoDeltaStrideTable,
+    make_stride_table,
+)
+from repro.predictors.value import ValueEntry, ValuePredictor
+
+__all__ = [
+    "GShareBranchPredictor",
+    "StrideEntry",
+    "StrideTable",
+    "TwoDeltaEntry",
+    "TwoDeltaStrideTable",
+    "ValueEntry",
+    "ValuePredictor",
+    "make_stride_table",
+]

@@ -1,0 +1,66 @@
+"""Branch direction prediction: gshare with a global history register.
+
+The core snapshots the history register into each branch micro-op at fetch
+and restores it on a squash, so wrong-path history never corrupts the
+predictor permanently.  Counter training happens only at commit — this
+matches the secure schemes' requirement that speculative (potentially
+tainted) outcomes never reach a predictor (STT, paper §2.2), and we apply
+it uniformly to every scheme for comparability.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.common.config import BranchPredictorConfig
+
+
+class GShareBranchPredictor:
+    """gshare: PC xor global-history indexes a table of 2-bit counters."""
+
+    def __init__(self, config: BranchPredictorConfig):
+        self.config = config
+        self._mask = config.table_entries - 1
+        self._history_mask = (1 << config.history_bits) - 1
+        self._counters: List[int] = [1] * config.table_entries  # weakly not-taken
+        self.history = 0
+        self.predictions = 0
+        self.mispredictions = 0
+
+    def _index(self, pc: int, history: int) -> int:
+        return (pc ^ history) & self._mask
+
+    def predict(self, pc: int) -> bool:
+        """Predict the direction of the branch at ``pc`` and speculatively
+        update the history register (the caller snapshots/restores it)."""
+        taken = self._counters[self._index(pc, self.history)] >= 2
+        self.predictions += 1
+        self.history = ((self.history << 1) | int(taken)) & self._history_mask
+        return taken
+
+    def snapshot_history(self) -> int:
+        return self.history
+
+    def restore_history(self, snapshot: int, actual_taken: bool) -> None:
+        """Roll history back to the snapshot and append the real outcome."""
+        self.history = ((snapshot << 1) | int(actual_taken)) & self._history_mask
+
+    def train(self, pc: int, taken: bool, history_at_predict: int) -> None:
+        """Commit-time training with the history that indexed the prediction."""
+        index = self._index(pc, history_at_predict)
+        counter = self._counters[index]
+        if taken:
+            if counter < 3:
+                self._counters[index] = counter + 1
+        else:
+            if counter > 0:
+                self._counters[index] = counter - 1
+
+    def record_mispredict(self) -> None:
+        self.mispredictions += 1
+
+    @property
+    def accuracy(self) -> float:
+        if self.predictions == 0:
+            return 0.0
+        return 1.0 - self.mispredictions / self.predictions

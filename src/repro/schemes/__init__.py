@@ -1,0 +1,53 @@
+"""Secure speculation schemes: unsafe baseline, NDA-P, STT, and DoM."""
+
+from __future__ import annotations
+
+from typing import Dict, Type
+
+from repro.schemes.base import SecureScheme
+from repro.schemes.dom import DelayOnMiss
+from repro.schemes.dom_vp import DoMValuePrediction
+from repro.schemes.nda import NDAPermissive
+from repro.schemes.stt import STT
+from repro.schemes.unsafe import UnsafeBaseline
+
+SCHEME_CLASSES: Dict[str, Type[SecureScheme]] = {
+    "unsafe": UnsafeBaseline,
+    "nda": NDAPermissive,
+    "stt": STT,
+    "dom": DelayOnMiss,
+    "dom+vp": DoMValuePrediction,
+}
+
+SCHEME_NAMES = tuple(SCHEME_CLASSES)
+
+
+def make_scheme(name: str, address_prediction: bool = False) -> SecureScheme:
+    """Build a scheme by name (``unsafe``, ``nda``, ``stt``, ``dom``,
+    ``dom+vp``).
+
+    Accepts a trailing ``+ap`` suffix as shorthand for
+    ``address_prediction=True``, e.g. ``make_scheme("dom+ap")``.
+    """
+    key = name.lower().strip()
+    if key.endswith("+ap"):
+        key = key[: -len("+ap")]
+        address_prediction = True
+    if key not in SCHEME_CLASSES:
+        raise ValueError(
+            f"unknown scheme {name!r}; expected one of {sorted(SCHEME_CLASSES)}"
+        )
+    return SCHEME_CLASSES[key](address_prediction=address_prediction)
+
+
+__all__ = [
+    "DelayOnMiss",
+    "DoMValuePrediction",
+    "NDAPermissive",
+    "SCHEME_CLASSES",
+    "SCHEME_NAMES",
+    "STT",
+    "SecureScheme",
+    "UnsafeBaseline",
+    "make_scheme",
+]

@@ -1,0 +1,117 @@
+"""The scheme interface: how a secure speculation policy plugs into the core.
+
+A :class:`SecureScheme` is a strategy object the pipeline consults at the
+decision points the paper's schemes differ on.  All of the paper's
+restrictions share one structure: *wait until the shadow frontier reaches
+some sequence number* — NDA-P's propagation lock waits for the producing
+load to become non-speculative, STT's transmitter delays wait for a taint
+root's visibility point, DoM's delayed misses and in-order branch
+resolution wait for the instruction's own visibility point.  The hooks
+therefore return a **block key**: :data:`READY` (−1) when the action may
+proceed now, otherwise the sequence number the shadow frontier must reach
+first.  The core parks the instruction on a frontier-ordered wait queue
+and wakes it exactly when that happens — O(1) per query, no per-cycle
+polling.
+
+Hooks:
+
+* :meth:`value_block_seq` — may a dependent consume a completed
+  producer's result? (NDA-P: not until the producer load is
+  non-speculative.)
+* :meth:`load_block_seq` — may this address-resolved load access the
+  memory hierarchy? (STT: not while the address is tainted; DoM: a
+  delayed miss or mispredicted doppelganger waits for non-speculation.)
+* :meth:`load_is_probe` — is the access an L1-only non-mutating probe
+  (DoM while speculative)?
+* :meth:`branch_block_seq` / :meth:`store_block_seq` — may this branch
+  resolve / this store address become visible? (STT: tainted predicates
+  and addresses wait; DoM+AP: branches resolve in order.)
+* :meth:`load_result_taint` — STT's output tainting.
+
+Schemes never mutate pipeline structures; they only answer questions,
+keeping each scheme a reviewable statement of its paper's policy.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.pipeline.uop import UNTAINTED, MicroOp
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.pipeline.core import Core
+
+READY = -1
+"""Block key meaning "no restriction — proceed now"."""
+
+
+class SecureScheme:
+    """Unsafe baseline behaviour; secure schemes override the hooks."""
+
+    #: Short identifier used by the harness and result labels.
+    name = "unsafe"
+    #: True when the doppelganger engine should run on this scheme.
+    address_prediction = False
+    #: DoM releases doppelganger values that missed in the L1 only once the
+    #: load is non-speculative (paper §5.3); other schemes release at
+    #: verification (subject to the value lock).
+    dl_miss_release_at_nonspec = False
+    #: Whether the scheme computes taints (only STT pays the cost).
+    uses_taint = False
+    #: DoM+VP: delayed misses speculate on a predicted value, validated
+    #: (and squashed on mismatch) when the real load returns.
+    uses_value_prediction = False
+
+    def __init__(self, address_prediction: bool = False):
+        self.address_prediction = address_prediction
+        self.core: Optional["Core"] = None
+
+    def attach(self, core: "Core") -> None:
+        """Bind to a core; called once by the core's constructor."""
+        self.core = core
+        self.shadows = core.shadows
+
+    # ------------------------------------------------------------------
+    # Value propagation
+    # ------------------------------------------------------------------
+    def value_block_seq(self, producer: MicroOp) -> int:
+        """Frontier seq required before dependents may read ``producer``'s
+        completed result; READY when propagation is unrestricted."""
+        return READY
+
+    # ------------------------------------------------------------------
+    # Loads
+    # ------------------------------------------------------------------
+    def load_block_seq(self, load: MicroOp) -> int:
+        """Frontier seq required before this load may access memory."""
+        return READY
+
+    def load_is_probe(self, load: MicroOp) -> bool:
+        """Should this load's access be a non-mutating L1 probe (DoM)?"""
+        return False
+
+    # ------------------------------------------------------------------
+    # Branches and stores
+    # ------------------------------------------------------------------
+    def branch_block_seq(self, branch: MicroOp, operand_taint: int) -> int:
+        """Frontier seq required before this branch may execute/resolve."""
+        return READY
+
+    def store_block_seq(self, store: MicroOp, operand_taint: int) -> int:
+        """Frontier seq required before this store's address may become
+        architecturally visible."""
+        return READY
+
+    # ------------------------------------------------------------------
+    # Taint (STT only)
+    # ------------------------------------------------------------------
+    def is_tainted(self, taint: int) -> bool:
+        return False
+
+    def load_result_taint(self, load: MicroOp) -> int:
+        """Taint of a load's output at the moment its value binds."""
+        return UNTAINTED
+
+    def describe(self) -> str:
+        suffix = "+AP" if self.address_prediction else ""
+        return f"{self.name}{suffix}"

@@ -1,0 +1,62 @@
+"""Delay-on-Miss (DoM), Sakalis et al. [40].
+
+DoM hides speculation in the memory hierarchy instead of blocking value
+flow: speculative loads issue to the L1 as non-mutating probes.  A probe
+that hits completes normally (its replacement update is applied
+retroactively at commit); a probe that misses is *delayed* — no L2/L3/DRAM
+traffic, no fill — and the load re-issues a full access once it is
+non-speculative.  Values propagate freely, which also protects secrets
+already in registers (DoM's threat model is the memory hierarchy only).
+
+With address prediction (paper §4.6/§5.3) two additional rules close the
+implicit channels that doppelganger misses would otherwise open:
+
+* branches resolve in order (only once non-speculative), and
+* the real load of a *mispredicted* doppelganger issues only once the load
+  is non-speculative.
+
+Both are expressed here as block keys; the doppelganger release rule
+(hit → release at verification, miss → release at non-speculative) is
+selected by ``dl_miss_release_at_nonspec`` and enforced by the engine.
+"""
+
+from __future__ import annotations
+
+from repro.pipeline.uop import MicroOp
+from repro.schemes.base import READY, SecureScheme
+
+
+class DelayOnMiss(SecureScheme):
+    """Figure 1(d): speculative L1 hits proceed, speculative misses wait."""
+
+    name = "dom"
+    dl_miss_release_at_nonspec = True
+
+    def load_is_probe(self, load: MicroOp) -> bool:
+        return self.shadows.is_speculative(load.seq)
+
+    def load_block_seq(self, load: MicroOp) -> int:
+        # A delayed (probe-missed) load waits for its visibility point.
+        if load.dom_delayed and self.shadows.is_speculative(load.seq):
+            return load.seq
+        # The real load of a mispredicted doppelganger is delayed until
+        # non-speculative (paper §5.3) — issuing it earlier would let the
+        # doppelganger implicit channel leak through the miss timing.
+        if (
+            self.address_prediction
+            and load.dl_verified
+            and not load.dl_correct
+            and not load.dl_cancelled
+            and self.shadows.is_speculative(load.seq)
+        ):
+            return load.seq
+        return READY
+
+    def branch_block_seq(self, branch: MicroOp, operand_taint: int) -> int:
+        if not self.address_prediction:
+            return READY
+        # In-order branch resolution: only once the branch itself is no
+        # longer covered by an older shadow (paper §4.6).
+        if self.shadows.is_speculative(branch.seq):
+            return branch.seq
+        return READY

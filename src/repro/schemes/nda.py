@@ -1,0 +1,32 @@
+"""NDA with permissive propagation (NDA-P), Weisse et al. [49].
+
+Speculative loads are allowed to *issue* and *complete* as normal — the
+memory hierarchy sees them — but their results are locked: no dependent
+instruction may consume a speculatively loaded value until the load is
+non-speculative (bound to become architecturally visible).  This blocks
+every transmitter of a speculatively acquired secret at the source, at the
+cost of delaying all dependents (no dependent ILP, no dependent MLP).
+
+The lock is :meth:`value_block_seq`: a completed load's result stays
+unreadable until the shadow frontier reaches the load itself.
+"""
+
+from __future__ import annotations
+
+from repro.pipeline.uop import MicroOp
+from repro.schemes.base import READY, SecureScheme
+
+
+class NDAPermissive(SecureScheme):
+    """Figure 1(b): performs speculative loads, never forwards their data
+    while speculative."""
+
+    name = "nda"
+
+    def value_block_seq(self, producer: MicroOp) -> int:
+        if not producer.is_load:
+            return READY
+        if self.shadows.is_nonspeculative(producer.seq):
+            return READY
+        self.core.stats.delayed_propagations += 1
+        return producer.seq

@@ -1,0 +1,67 @@
+"""Speculative Taint Tracking (STT), Yu et al. [54].
+
+STT taints the output of every speculatively issued load and propagates
+taints through dependent instructions.  Tainted values *do* propagate —
+dependent arithmetic executes normally (ILP is preserved) — but
+*transmitters* are delayed while any operand is tainted:
+
+* explicit channels: loads whose address operand is tainted may not issue;
+* resolution-based implicit channels: branches whose predicate is tainted
+  may not resolve; store-to-load forwarding is blocked by delaying the
+  resolution of tainted store addresses;
+* prediction-based implicit channels: predictors are trained only at
+  commit (enforced core-wide, see ``repro.predictors``).
+
+A value untaints when its root load reaches the *visibility point* —
+becomes non-speculative.  We represent a taint as the maximum sequence
+number over the speculative root loads a value is derived from; this is
+exact (not conservative) because the shadow frontier is monotone in
+sequence numbers: if the youngest root is non-speculative, so is every
+older root.  A blocked transmitter therefore simply waits for the frontier
+to reach its taint root, which is exactly the block-key contract of
+:class:`~repro.schemes.base.SecureScheme`.
+"""
+
+from __future__ import annotations
+
+from repro.pipeline.uop import UNTAINTED, MicroOp
+from repro.schemes.base import READY, SecureScheme
+
+
+class STT(SecureScheme):
+    """Figure 1(c): propagates tainted data to non-transmitters, delays
+    transmitters until their operands untaint."""
+
+    name = "stt"
+    uses_taint = True
+
+    def is_tainted(self, taint: int) -> bool:
+        """A taint root is cleared once it is non-speculative."""
+        return taint != UNTAINTED and self.shadows.is_speculative(taint)
+
+    def load_block_seq(self, load: MicroOp) -> int:
+        # load.taint holds the address-operand taint until the access
+        # issues (the core then replaces it with the output taint).
+        if self.is_tainted(load.taint):
+            self.core.stats.delayed_transmitters += 1
+            return load.taint
+        return READY
+
+    def branch_block_seq(self, branch: MicroOp, operand_taint: int) -> int:
+        if self.is_tainted(operand_taint):
+            self.core.stats.delayed_transmitters += 1
+            return operand_taint
+        return READY
+
+    def store_block_seq(self, store: MicroOp, operand_taint: int) -> int:
+        if self.is_tainted(operand_taint):
+            self.core.stats.delayed_transmitters += 1
+            return operand_taint
+        return READY
+
+    def load_result_taint(self, load: MicroOp) -> int:
+        """Speculatively issued loads produce tainted outputs rooted at
+        themselves; non-speculative loads produce clean outputs."""
+        if self.shadows.is_speculative(load.seq):
+            return load.seq
+        return UNTAINTED

@@ -1,0 +1,5 @@
+"""Pipeline tracing and rendering utilities."""
+
+from repro.trace.tracer import PipelineTracer, TraceRecord
+
+__all__ = ["PipelineTracer", "TraceRecord"]

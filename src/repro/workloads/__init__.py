@@ -1,0 +1,41 @@
+"""Synthetic workloads standing in for SPEC CPU2006/2017."""
+
+from repro.workloads.kernels import (
+    KERNELS,
+    branchy_kernel,
+    build_kernel,
+    gather_kernel,
+    hash_probe_kernel,
+    pointer_chase_kernel,
+    stencil_kernel,
+    stream_kernel,
+)
+from repro.workloads.profiles import (
+    ALL_PROFILES,
+    PROFILES_BY_NAME,
+    SPEC2006_PROFILES,
+    SPEC2017_PROFILES,
+    WorkloadSpec,
+    benchmark_names,
+    build_workload,
+    get_profile,
+)
+
+__all__ = [
+    "ALL_PROFILES",
+    "KERNELS",
+    "PROFILES_BY_NAME",
+    "SPEC2006_PROFILES",
+    "SPEC2017_PROFILES",
+    "WorkloadSpec",
+    "benchmark_names",
+    "branchy_kernel",
+    "build_kernel",
+    "build_workload",
+    "gather_kernel",
+    "get_profile",
+    "hash_probe_kernel",
+    "pointer_chase_kernel",
+    "stencil_kernel",
+    "stream_kernel",
+]

@@ -1,0 +1,67 @@
+"""Tests for the flush+probe cache observer."""
+
+import pytest
+
+from repro.attacks.observer import PROBE_LINE_STRIDE, CacheObserver
+from repro.common.config import MemoryConfig
+from repro.common.stats import SimStats
+from repro.memory.hierarchy import MemoryHierarchy
+
+
+@pytest.fixture
+def hierarchy():
+    return MemoryHierarchy(MemoryConfig(), SimStats())
+
+
+def observer(hierarchy, base=0x40000, values=16):
+    return CacheObserver(hierarchy, base, values=values)
+
+
+class TestResidency:
+    def test_empty_cache_nothing_resident(self, hierarchy):
+        assert observer(hierarchy).resident_values() == []
+
+    def test_detects_filled_lines(self, hierarchy):
+        obs = observer(hierarchy)
+        hierarchy.warm([obs.address_of(3), obs.address_of(9)])
+        assert obs.resident_values() == [3, 9]
+
+    def test_address_mapping_uses_line_stride(self, hierarchy):
+        obs = observer(hierarchy)
+        assert obs.address_of(1) - obs.address_of(0) == PROBE_LINE_STRIDE
+
+    def test_observation_is_non_destructive(self, hierarchy):
+        obs = observer(hierarchy)
+        hierarchy.warm([obs.address_of(5)])
+        before = hierarchy.stats.l1_accesses
+        obs.resident_values()
+        obs.snapshot([obs.address_of(5)])
+        assert hierarchy.stats.l1_accesses == before
+
+
+class TestInference:
+    def test_single_resident_line_is_the_secret(self, hierarchy):
+        obs = observer(hierarchy)
+        hierarchy.warm([obs.address_of(7)])
+        assert obs.infer_secret() == 7
+
+    def test_training_noise_excluded(self, hierarchy):
+        obs = observer(hierarchy)
+        hierarchy.warm([obs.address_of(0), obs.address_of(7)])
+        assert obs.infer_secret(exclude=(0,)) == 7
+
+    def test_ambiguity_yields_none(self, hierarchy):
+        obs = observer(hierarchy)
+        hierarchy.warm([obs.address_of(3), obs.address_of(4)])
+        assert obs.infer_secret() is None
+
+    def test_nothing_resident_yields_none(self, hierarchy):
+        assert observer(hierarchy).infer_secret() is None
+
+    def test_snapshot_reports_levels(self, hierarchy):
+        obs = observer(hierarchy)
+        address = obs.address_of(2)
+        hierarchy.warm([address])
+        view = obs.snapshot([address, obs.address_of(3)])
+        assert view[address] == 1
+        assert view[obs.address_of(3)] is None

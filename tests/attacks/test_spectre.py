@@ -1,0 +1,78 @@
+"""Spectre v1 (the universal read gadget) against every configuration.
+
+These tests are the executable form of the paper's security claims: the
+unsafe baseline leaks; NDA-P, STT, and DoM block the leak; and adding
+Doppelganger Loads never re-opens it (threat-model transparency, §4).
+"""
+
+import pytest
+
+from repro.attacks import run_attack, spectre_v1
+from repro.attacks.gadgets import PROBE_BASE
+
+SECURE_SCHEMES = ("nda", "stt", "dom", "nda+ap", "stt+ap", "dom+ap")
+
+
+class TestUnsafeBaseline:
+    def test_baseline_leaks_secret(self):
+        outcome = run_attack(spectre_v1(secret_value=5), "unsafe")
+        assert outcome.leaked
+        assert outcome.inferred == 5
+
+    def test_baseline_with_ap_still_leaks(self):
+        """Address prediction neither helps nor hinders an unsafe core."""
+        outcome = run_attack(spectre_v1(secret_value=5), "unsafe+ap")
+        assert outcome.leaked
+
+    @pytest.mark.parametrize("secret", [1, 3, 7, 11, 15])
+    def test_baseline_leaks_arbitrary_secrets(self, secret):
+        outcome = run_attack(spectre_v1(secret_value=secret), "unsafe")
+        assert outcome.inferred == secret
+
+    def test_training_noise_confined_to_line_zero(self):
+        outcome = run_attack(spectre_v1(secret_value=9), "unsafe")
+        assert set(outcome.resident_values) == {0, 9}
+
+
+class TestSecureSchemes:
+    @pytest.mark.parametrize("scheme", SECURE_SCHEMES)
+    def test_scheme_blocks_universal_read(self, scheme):
+        outcome = run_attack(spectre_v1(secret_value=5), scheme)
+        assert not outcome.leaked, f"{scheme} leaked the secret"
+        assert outcome.inferred is None
+
+    @pytest.mark.parametrize("scheme", ("nda", "stt", "dom"))
+    def test_doppelganger_is_threat_model_transparent(self, scheme):
+        """§4.2: adding address prediction must not introduce a leak the
+        base scheme blocks — for any secret value."""
+        for secret in (2, 6, 13):
+            base = run_attack(spectre_v1(secret_value=secret), scheme)
+            with_ap = run_attack(spectre_v1(secret_value=secret), f"{scheme}+ap")
+            assert not base.leaked
+            assert not with_ap.leaked
+
+    @pytest.mark.parametrize("scheme", SECURE_SCHEMES)
+    def test_probe_array_residency_secret_independent(self, scheme):
+        """Stronger than 'not inferred': the set of resident probe lines
+        must not vary with the secret at all."""
+        residents = {
+            secret: tuple(run_attack(spectre_v1(secret_value=secret), scheme).resident_values)
+            for secret in (3, 12)
+        }
+        assert residents[3] == residents[12]
+
+
+class TestGadgetConstruction:
+    def test_secret_value_range_checked(self):
+        with pytest.raises(ValueError):
+            spectre_v1(secret_value=0)
+        with pytest.raises(ValueError):
+            spectre_v1(secret_value=16)
+
+    def test_gadget_program_interprets_cleanly(self):
+        """The gadget must be architecturally benign: the in-order
+        interpreter never touches the probe array's secret line."""
+        gadget = spectre_v1(secret_value=5)
+        result = gadget.program.interpret()
+        secret_probe_word = PROBE_BASE + 5 * 64
+        assert secret_probe_word not in result.state.memory

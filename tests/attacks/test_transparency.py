@@ -1,0 +1,107 @@
+"""Threat-model transparency, swept systematically (§4's headline claim).
+
+For every (gadget × scheme) combination: if the base scheme is leak-free,
+the scheme with Doppelganger Loads must be leak-free too.  This is the
+property that makes the optimization deployable — it can be bolted onto
+any of the three schemes without re-auditing their threat models.
+"""
+
+import pytest
+
+from repro.attacks import (
+    dom_implicit_channel,
+    noninterference_check,
+    run_attack,
+    snapshots_equal,
+    spectre_v1,
+)
+
+BASE_SCHEMES = ("nda", "stt", "dom")
+
+
+class TestSpectreTransparency:
+    @pytest.mark.parametrize("scheme", BASE_SCHEMES)
+    @pytest.mark.parametrize("secret", (4, 10))
+    def test_ap_never_reopens_spectre(self, scheme, secret):
+        base = run_attack(spectre_v1(secret_value=secret), scheme)
+        ap = run_attack(spectre_v1(secret_value=secret), f"{scheme}+ap")
+        assert not base.leaked
+        assert not ap.leaked
+
+    @pytest.mark.parametrize("scheme", BASE_SCHEMES)
+    def test_ap_observable_state_matches_base_claims(self, scheme):
+        """With AP, residency may legitimately differ from the base run
+        (doppelgangers fetch lines) — but it must still be independent of
+        the secret."""
+        residents = {}
+        for secret in (3, 13):
+            outcome = run_attack(spectre_v1(secret_value=secret), f"{scheme}+ap")
+            residents[secret] = tuple(outcome.resident_values)
+        assert residents[3] == residents[13]
+
+
+class TestFigure4Transparency:
+    @pytest.mark.parametrize("scheme", BASE_SCHEMES)
+    def test_speculative_secret_gadget(self, scheme):
+        base = snapshots_equal(
+            noninterference_check(
+                lambda s: dom_implicit_channel(s), scheme, secrets=(0, 1)
+            )
+        )
+        with_ap = snapshots_equal(
+            noninterference_check(
+                lambda s: dom_implicit_channel(s), f"{scheme}+ap", secrets=(0, 1)
+            )
+        )
+        # Transparency: AP may not turn a non-leaking scheme leaking.
+        if base:
+            assert with_ap, f"{scheme}+ap leaks where {scheme} does not"
+
+    @pytest.mark.parametrize("scheme", BASE_SCHEMES)
+    def test_register_secret_gadget(self, scheme):
+        base = snapshots_equal(
+            noninterference_check(
+                lambda s: dom_implicit_channel(s, register_secret=True),
+                scheme,
+                secrets=(0, 1),
+            )
+        )
+        with_ap = snapshots_equal(
+            noninterference_check(
+                lambda s: dom_implicit_channel(s, register_secret=True),
+                f"{scheme}+ap",
+                secrets=(0, 1),
+            )
+        )
+        if base:
+            assert with_ap, f"{scheme}+ap leaks where {scheme} does not"
+
+
+class TestPerformanceSecurityNoTradeoff:
+    def test_attack_blocked_regardless_of_predictor_quality(self):
+        """Transparency must not depend on predictor configuration: even
+        an eager (threshold-0) predictor stays safe."""
+        from dataclasses import replace
+
+        from repro.attacks.harness import attack_config
+
+        config = attack_config()
+        eager = replace(
+            config, predictor=replace(config.predictor, confidence_threshold=0)
+        )
+        for scheme in ("nda+ap", "stt+ap", "dom+ap"):
+            outcome = run_attack(spectre_v1(secret_value=6), scheme, config=eager)
+            assert not outcome.leaked, scheme
+
+    def test_attack_blocked_with_two_delta_predictor(self):
+        from dataclasses import replace
+
+        from repro.attacks.harness import attack_config
+
+        config = attack_config()
+        two_delta = replace(
+            config, predictor=replace(config.predictor, kind="two_delta")
+        )
+        for scheme in ("nda+ap", "stt+ap", "dom+ap"):
+            outcome = run_attack(spectre_v1(secret_value=6), scheme, config=two_delta)
+            assert not outcome.leaked, scheme

@@ -1,0 +1,56 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestList:
+    def test_lists_schemes_and_benchmarks(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "dom" in out
+        assert "libquantum" in out
+        assert "spec2017" in out
+
+
+class TestRun:
+    def test_run_prints_summary(self, capsys):
+        assert main(["run", "hmmer", "--scheme", "dom+ap",
+                     "--warmup", "500", "--measure", "1500"]) == 0
+        out = capsys.readouterr().out
+        assert "hmmer under dom+ap" in out
+        assert "IPC=" in out
+        assert "doppelganger issued=" in out
+
+    def test_run_with_baseline_normalization(self, capsys):
+        assert main(["run", "hmmer", "--scheme", "dom",
+                     "--warmup", "500", "--measure", "1000",
+                     "--baseline"]) == 0
+        assert "normalized IPC vs unsafe:" in capsys.readouterr().out
+
+    def test_unknown_benchmark_is_an_error(self, capsys):
+        assert main(["run", "doesnotexist"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestAttack:
+    def test_attack_reports_all_schemes(self, capsys):
+        assert main(["attack", "--secret", "9"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("LEAKED") == 2          # unsafe and unsafe+ap
+        assert out.count(" safe ") == 6          # all secure configs
+        assert "inferred=9" in out
+
+
+class TestTrace:
+    def test_trace_prints_timeline(self, capsys):
+        assert main(["trace", "hmmer", "--scheme", "stt+ap",
+                     "--instructions", "200", "--window", "12"]) == 0
+        out = capsys.readouterr().out
+        assert "traced:" in out
+        assert "D=dispatch" in out
+
+    def test_trace_unknown_scheme(self):
+        with pytest.raises(SystemExit):
+            main(["trace"])  # missing benchmark argument

@@ -1,0 +1,136 @@
+"""Tests for configuration dataclasses and their validation."""
+
+import dataclasses
+
+import pytest
+
+from repro.common.config import (
+    BranchPredictorConfig,
+    CacheConfig,
+    CoreConfig,
+    MemoryConfig,
+    PredictorConfig,
+    SystemConfig,
+    default_config,
+    small_config,
+)
+from repro.common.errors import ConfigError
+
+
+class TestCacheConfig:
+    def test_num_sets(self):
+        cache = CacheConfig("L1", 48 * 1024, 12, latency=5)
+        assert cache.num_sets == 48 * 1024 // (12 * 64)
+
+    def test_rejects_non_multiple_size(self):
+        with pytest.raises(ConfigError, match="multiple"):
+            CacheConfig("L1", 1000, 3, latency=1)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(size_bytes=0, ways=1, latency=1),
+            dict(size_bytes=1024, ways=0, latency=1),
+            dict(size_bytes=1024, ways=1, latency=0),
+            dict(size_bytes=1024, ways=1, latency=1, mshrs=0),
+        ],
+    )
+    def test_rejects_non_positive_fields(self, kwargs):
+        with pytest.raises(ConfigError):
+            CacheConfig("X", **kwargs)
+
+
+class TestMemoryConfig:
+    def test_default_matches_table1(self):
+        memory = MemoryConfig()
+        assert memory.l1.size_bytes == 48 * 1024
+        assert memory.l2.size_bytes == 2 * 1024 * 1024
+        assert memory.l3.size_bytes == 16 * 1024 * 1024
+
+    def test_rejects_inverted_level_sizes(self):
+        with pytest.raises(ConfigError, match="monotonically"):
+            MemoryConfig(
+                l1=CacheConfig("L1", 1 << 20, 4, latency=2),
+                l2=CacheConfig("L2", 1 << 16, 4, latency=8),
+            )
+
+    def test_rejects_zero_dram_latency(self):
+        with pytest.raises(ConfigError):
+            MemoryConfig(dram_latency=0)
+
+
+class TestCoreConfig:
+    def test_rejects_rob_smaller_than_lq(self):
+        with pytest.raises(ConfigError, match="ROB"):
+            CoreConfig(rob_entries=16, lq_entries=32)
+
+    def test_rejects_zero_widths(self):
+        with pytest.raises(ConfigError):
+            CoreConfig(decode_width=0)
+        with pytest.raises(ConfigError):
+            CoreConfig(issue_width=0)
+
+    def test_negative_penalties_rejected(self):
+        with pytest.raises(ConfigError):
+            CoreConfig(mispredict_penalty=-1)
+        with pytest.raises(ConfigError):
+            CoreConfig(branch_resolution_delay=-1)
+        with pytest.raises(ConfigError):
+            CoreConfig(branch_resolve_latency=0)
+
+
+class TestBranchPredictorConfig:
+    def test_power_of_two_tables(self):
+        with pytest.raises(ConfigError):
+            BranchPredictorConfig(table_entries=1000)
+        with pytest.raises(ConfigError):
+            BranchPredictorConfig(btb_entries=100)
+
+    def test_history_bits_bounds(self):
+        BranchPredictorConfig(history_bits=0)   # bimodal allowed
+        with pytest.raises(ConfigError):
+            BranchPredictorConfig(history_bits=25)
+
+
+class TestPredictorConfig:
+    def test_num_sets(self):
+        assert PredictorConfig(entries=1024, ways=8).num_sets == 128
+
+    def test_entries_divisible_by_ways(self):
+        with pytest.raises(ConfigError):
+            PredictorConfig(entries=100, ways=8)
+
+    def test_threshold_within_confidence_range(self):
+        with pytest.raises(ConfigError):
+            PredictorConfig(confidence_threshold=8, max_confidence=7)
+
+    def test_prefetch_degree_zero_allowed(self):
+        assert PredictorConfig(prefetch_degree=0).prefetch_degree == 0
+
+    def test_secure_defaults(self):
+        cfg = PredictorConfig()
+        assert not cfg.train_on_execute
+        assert cfg.multi_instance_aging
+
+
+class TestSystemConfig:
+    def test_default_is_frozen(self):
+        cfg = default_config()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            cfg.max_cycles = 5  # type: ignore[misc]
+
+    def test_with_overrides(self):
+        cfg = default_config().with_overrides(max_cycles=123, prefetch_enabled=False)
+        assert cfg.max_cycles == 123
+        assert not cfg.prefetch_enabled
+        assert cfg.core.rob_entries == 352  # untouched
+
+    def test_small_config_keeps_mechanisms(self):
+        cfg = small_config()
+        assert cfg.core.rob_entries < 64
+        assert cfg.memory.l1.mshrs >= 1
+        assert cfg.predictor.entries >= 1
+
+    def test_rejects_zero_budget(self):
+        with pytest.raises(ConfigError):
+            SystemConfig(max_cycles=0)

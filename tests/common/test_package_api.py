@@ -1,0 +1,51 @@
+"""The public API surface: top-level imports and the simulate() helper."""
+
+import pytest
+
+import repro
+from repro import build_core, simulate
+from repro.isa.assembler import assemble
+from repro.isa.program import Program
+
+
+class TestTopLevelAPI:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_simulate_with_scheme_name(self):
+        program = Program(assemble("li r1, 5\nstore r1, [r0 + 8]\nhalt"))
+        stats = simulate(program, scheme="dom+ap")
+        assert stats.committed_instructions == 3
+
+    def test_simulate_with_scheme_instance(self):
+        from repro.schemes import make_scheme
+
+        program = Program(assemble("li r1, 5\nhalt"))
+        stats = simulate(program, scheme=make_scheme("stt"))
+        assert stats.committed_instructions == 2
+
+    def test_simulate_instruction_budget(self):
+        from tests.conftest import counting_loop
+
+        stats = simulate(counting_loop(10**6), max_instructions=800)
+        assert 800 <= stats.committed_instructions < 900
+
+    def test_build_core_does_not_run(self):
+        program = Program(assemble("halt"))
+        core = build_core(program, "nda")
+        assert core.cycle == 0
+        assert not core.halted
+
+    def test_unknown_scheme_from_api(self):
+        program = Program(assemble("halt"))
+        with pytest.raises(ValueError):
+            simulate(program, scheme="sgx")
+
+    def test_default_config_applied(self):
+        program = Program(assemble("halt"))
+        core = build_core(program)
+        assert core.config.core.rob_entries == 352

@@ -1,0 +1,108 @@
+"""Tests for statistics containers and aggregate math."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.stats import RunResult, SimStats, geomean, normalized
+
+
+class TestSimStats:
+    def test_defaults_zero(self):
+        stats = SimStats()
+        assert stats.cycles == 0
+        assert stats.ipc == 0.0
+        assert stats.coverage == 0.0
+        assert stats.accuracy == 0.0
+        assert stats.l1_miss_rate == 0.0
+
+    def test_ipc(self):
+        stats = SimStats(cycles=100, committed_instructions=250)
+        assert stats.ipc == 2.5
+
+    def test_coverage_accuracy(self):
+        stats = SimStats(
+            committed_loads=100, dl_covered_commits=40, dl_correct_commits=30
+        )
+        assert stats.coverage == pytest.approx(0.40)
+        assert stats.accuracy == pytest.approx(0.75)
+
+    def test_miss_rate(self):
+        stats = SimStats(l1_accesses=200, l1_misses=20)
+        assert stats.l1_miss_rate == pytest.approx(0.1)
+
+    def test_merge_accumulates_every_field(self):
+        a = SimStats(cycles=10, committed_loads=5, dl_issued=2)
+        b = SimStats(cycles=7, committed_loads=1, dl_issued=3)
+        a.merge(b)
+        assert a.cycles == 17
+        assert a.committed_loads == 6
+        assert a.dl_issued == 5
+
+    def test_as_dict_round_trip(self):
+        stats = SimStats(cycles=5, vp_squashes=2)
+        data = stats.as_dict()
+        assert data["cycles"] == 5
+        assert data["vp_squashes"] == 2
+        assert set(data) >= {"l1_accesses", "dl_predictions", "writebacks"}
+
+    def test_summary_mentions_key_numbers(self):
+        stats = SimStats(cycles=10, committed_instructions=20, dl_issued=3)
+        text = stats.summary()
+        assert "IPC=2.000" in text
+        assert "doppelganger issued=3" in text
+
+    def test_summary_omits_dl_when_absent(self):
+        assert "doppelganger" not in SimStats(cycles=1).summary()
+
+
+class TestGeomean:
+    def test_simple(self):
+        assert geomean([2, 8]) == pytest.approx(4.0)
+
+    def test_single(self):
+        assert geomean([3.3]) == pytest.approx(3.3)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            geomean([])
+
+    def test_non_positive_rejected(self):
+        with pytest.raises(ValueError):
+            geomean([1.0, 0.0])
+        with pytest.raises(ValueError):
+            geomean([1.0, -2.0])
+
+    @given(st.lists(st.floats(min_value=0.01, max_value=100), min_size=1, max_size=20))
+    def test_bounded_by_min_and_max(self, values):
+        result = geomean(values)
+        assert min(values) - 1e-9 <= result <= max(values) + 1e-9
+
+    @given(
+        st.lists(st.floats(min_value=0.01, max_value=100), min_size=1, max_size=10),
+        st.floats(min_value=0.01, max_value=10),
+    )
+    def test_scale_invariance(self, values, factor):
+        scaled = geomean([v * factor for v in values])
+        assert scaled == pytest.approx(geomean(values) * factor, rel=1e-6)
+
+
+class TestNormalized:
+    def test_simple(self):
+        assert normalized(3.0, 2.0) == 1.5
+
+    def test_zero_baseline_rejected(self):
+        with pytest.raises(ValueError):
+            normalized(1.0, 0.0)
+
+
+class TestRunResult:
+    def test_ipc_passthrough(self):
+        result = RunResult(
+            benchmark="x", scheme="dom",
+            stats=SimStats(cycles=4, committed_instructions=8),
+        )
+        assert result.ipc == 2.0
+        assert result.metadata == {}

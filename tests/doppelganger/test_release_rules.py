@@ -1,0 +1,147 @@
+"""Release-rule timing per scheme (paper §5.2/§5.3, Figure 5 item F).
+
+A verified-correct doppelganger's value must become consumable at exactly
+the scheme's release point: STT at verification, NDA-P at the later of
+verification and non-speculation, DoM at verification for L1 hits but at
+non-speculation for misses.  These tests observe the release points
+directly by stepping the core.
+"""
+
+import pytest
+
+from repro.isa.builder import CodeBuilder
+from repro.pipeline.core import Core
+from repro.pipeline.uop import UopState
+from repro.schemes import make_scheme
+
+
+def covered_load_under_shadow(miss: bool):
+    """Train a stride-0 load, then issue one instance under a slow branch.
+
+    Returns (program, trained_address): the final instance's doppelganger
+    will be issued while the outer branch keeps it speculative.
+    """
+    address = 0xA0000
+    b = CodeBuilder()
+    b.set_memory(address, 321)
+    # Training loop: commits the load PC with a stable address.
+    b.li(1, 30)
+    b.li(2, 0)
+    b.li(10, address)
+    b.label("train")
+    b.load(4, 10)
+    b.addi(2, 2, 1)
+    b.blt(2, 1, "train")
+    # Evict the line if the probe phase wants a miss: the kernel can't
+    # flush, so the harness flushes between phases via a marker store.
+    b.li(6, 0)
+    for _ in range(18):
+        b.mul(6, 6, 6)            # slow predicate, value stays 0
+    b.bne(6, 0, "skip")           # not taken; resolves late -> shadow
+    b.load(5, 10)                 # the measured, dl-covered instance
+    b.addi(7, 5, 1)               # dependent
+    b.label("skip")
+    b.store(7, 0, disp=8)
+    b.halt()
+    return b.build(name="release_probe"), address
+
+
+def run_and_watch(scheme_name: str, miss: bool):
+    """Step the core, recording per-candidate release/non-speculation
+    cycles, then report them for the dl-covered load that *committed*
+    (wrong-path instances also issue doppelgangers and get squashed)."""
+    program, address = covered_load_under_shadow(miss)
+    core = Core(program, make_scheme(scheme_name))
+    release_cycles = {}
+    nonspec_cycles = {}
+    candidates = {}
+    for _ in range(6000):
+        if core.halted:
+            break
+        # Flush the trained line right before the measured phase when a
+        # miss is wanted (the attacker-style clflush).
+        if miss and core.stats.committed_loads == 30 and core.hierarchy.is_cached(address):
+            core.hierarchy.invalidate(address)
+        core.step()
+        for uop in core.rob:
+            if uop.inst.is_load and uop.dl_issued and not uop.squashed:
+                candidates[uop.seq] = uop
+                if uop.completed and uop.seq not in release_cycles:
+                    release_cycles[uop.seq] = core.cycle
+                if (
+                    core.shadows.is_nonspeculative(uop.seq)
+                    and uop.seq not in nonspec_cycles
+                ):
+                    nonspec_cycles[uop.seq] = core.cycle
+    committed = [u for u in candidates.values() if u.committed]
+    target = max(committed, key=lambda u: u.seq) if committed else None
+    if target is None:
+        return core, None, None, None
+    seq = target.seq
+    release = release_cycles.get(seq)
+    nonspec = nonspec_cycles.get(seq)
+    # completed_under_shadow: the value became consumable while the load
+    # was still speculative — robust against idle-cycle skipping because
+    # both facts are sampled in the same observation.
+    completed_under_shadow = release is not None and (
+        nonspec is None or release < nonspec
+    )
+    return core, target, release, (nonspec, completed_under_shadow)
+
+
+class TestReleasePoints:
+    def test_stt_releases_before_nonspeculative(self):
+        core, target, release, (nonspec, under_shadow) = run_and_watch(
+            "stt+ap", miss=True
+        )
+        assert target is not None and target.dl_correct
+        assert release is not None
+        assert under_shadow, "STT+AP must release at verification"
+
+    def test_nda_value_not_readable_until_nonspec(self):
+        """NDA may complete the preload early, but the value stays locked
+        (value_block_seq) while the load is speculative."""
+        from repro.schemes.base import READY
+
+        program, address = covered_load_under_shadow(miss=False)
+        core = Core(program, make_scheme("nda+ap"))
+        observed_locked = False
+        for _ in range(6000):
+            if core.halted:
+                break
+            core.step()
+            for uop in core.rob:
+                if (
+                    uop.inst.is_load
+                    and uop.dl_issued
+                    and uop.completed
+                    and core.shadows.is_speculative(uop.seq)
+                ):
+                    assert core.scheme.value_block_seq(uop) != READY
+                    observed_locked = True
+        assert observed_locked
+
+    def test_dom_miss_release_waits_for_nonspec(self):
+        core, target, release, (nonspec, under_shadow) = run_and_watch(
+            "dom+ap", miss=True
+        )
+        assert target is not None
+        if target.dl_correct and not target.dl_l1_hit and release is not None:
+            assert not under_shadow, "DoM+AP miss released while speculative"
+
+    def test_dom_hit_releases_at_verification(self):
+        core, target, release, (nonspec, under_shadow) = run_and_watch(
+            "dom+ap", miss=False
+        )
+        assert target is not None and target.dl_correct and target.dl_l1_hit
+        assert release is not None
+        # An L1-hit doppelganger releases on verification, which happens
+        # while the outer branch is still unresolved.
+        assert under_shadow
+
+    @pytest.mark.parametrize("scheme", ["nda+ap", "stt+ap", "dom+ap"])
+    @pytest.mark.parametrize("miss", [False, True])
+    def test_architectural_result(self, scheme, miss):
+        core, _, _, _ = run_and_watch(scheme, miss)
+        assert core.halted
+        assert core.arch.read_mem(8) == 322

@@ -1,0 +1,52 @@
+"""Tests for the ablation sweep helpers."""
+
+import pytest
+
+from repro.harness.ablations import (
+    compare_training_policy,
+    format_sweep,
+    sweep_confidence_threshold,
+    sweep_load_ports,
+    sweep_predictor_entries,
+)
+
+
+class TestSweeps:
+    def test_confidence_sweep_returns_all_points(self):
+        results = sweep_confidence_threshold(
+            "hmmer", thresholds=(0, 4), warmup=600, measure=1500
+        )
+        assert set(results) == {0, 4}
+        assert all(r.stats.committed_instructions > 0 for r in results.values())
+
+    def test_higher_threshold_never_raises_coverage(self):
+        results = sweep_confidence_threshold(
+            "hmmer", thresholds=(0, 6), warmup=600, measure=1500
+        )
+        assert results[6].stats.coverage <= results[0].stats.coverage + 1e-9
+
+    def test_entries_sweep(self):
+        results = sweep_predictor_entries(
+            "hmmer", entries=(8, 1024), warmup=600, measure=1500
+        )
+        assert set(results) == {8, 1024}
+
+    def test_ports_sweep_limits_dl_issue(self):
+        results = sweep_load_ports("hmmer", ports=(1, 4), warmup=600, measure=1500)
+        assert results[1].stats.dl_issued <= results[4].stats.dl_issued
+
+    def test_training_policy_comparison(self):
+        results = compare_training_policy("hmmer", warmup=600, measure=1500)
+        assert set(results) == {"commit", "execute"}
+        # The insecure variant must at minimum run and report coverage.
+        assert results["execute"].stats.committed_instructions > 0
+
+
+class TestFormatting:
+    def test_format_sweep_renders_rows_in_order(self):
+        results = sweep_load_ports("hmmer", ports=(3, 1), warmup=400, measure=1000)
+        text = format_sweep(results, "ports")
+        lines = text.splitlines()
+        assert "ports" in lines[0]
+        first_key = int(lines[2].split()[0])
+        assert first_key == 1  # sorted ascending regardless of sweep order

@@ -1,0 +1,67 @@
+"""Tests for the experiment runner and session."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.harness.runner import (
+    BASELINE_SCHEME,
+    FIGURE_SCHEMES,
+    ExperimentSession,
+    run_benchmark,
+    run_program,
+)
+from repro.workloads.kernels import stream_kernel
+
+
+class TestRunProgram:
+    def test_measurement_window_deltas(self):
+        program = stream_kernel(iterations=1 << 20, footprint_words=1 << 12)
+        result = run_program(program, "unsafe", warmup=1000, measure=2000)
+        stats = result.stats
+        assert 2000 <= stats.committed_instructions <= 2100
+        assert stats.cycles > 0
+        assert result.metadata["warmup"] == 1000
+
+    def test_zero_warmup_allowed(self):
+        program = stream_kernel(iterations=1 << 20, footprint_words=1 << 12)
+        result = run_program(program, "unsafe", warmup=0, measure=1500)
+        assert result.stats.committed_instructions >= 1500
+
+    def test_warmup_excluded_from_counters(self):
+        program = stream_kernel(iterations=1 << 20, footprint_words=1 << 12)
+        short = run_program(program, "unsafe", warmup=4000, measure=1000)
+        # Measurement counters reflect only the window, not the warmup.
+        assert short.stats.committed_instructions <= 1100
+
+
+class TestRunBenchmark:
+    def test_labels_attached(self):
+        result = run_benchmark("hmmer", "dom+ap", warmup=500, measure=1500)
+        assert result.benchmark == "hmmer"
+        assert result.scheme == "dom+ap"
+
+    def test_unknown_benchmark_fails_fast(self):
+        with pytest.raises(ConfigError):
+            run_benchmark("nonexistent", "unsafe")
+
+
+class TestExperimentSession:
+    def test_memoization(self):
+        session = ExperimentSession(warmup=500, measure=1200)
+        first = session.run("hmmer", "unsafe")
+        second = session.run("hmmer", "unsafe")
+        assert first is second
+        assert session.cached_runs() == 1
+
+    def test_normalized_ipc_baseline_is_one(self):
+        session = ExperimentSession(warmup=500, measure=1200)
+        assert session.normalized_ipc("hmmer", BASELINE_SCHEME) == pytest.approx(1.0)
+
+    def test_sweep_covers_grid(self):
+        session = ExperimentSession(warmup=500, measure=1000)
+        results = session.sweep(["hmmer"], ["unsafe", "dom"])
+        assert len(results) == 2
+        assert session.cached_runs() == 2
+
+    def test_figure_scheme_order(self):
+        assert FIGURE_SCHEMES == ("nda", "nda+ap", "stt", "stt+ap", "dom", "dom+ap")

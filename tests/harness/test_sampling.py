@@ -1,0 +1,56 @@
+"""Tests for the multi-window sampling harness."""
+
+import pytest
+
+from repro.harness.sampling import (
+    SampledResult,
+    normalized_with_error,
+    sample_benchmark,
+)
+
+
+class TestSampledResult:
+    def test_mean_and_stdev(self):
+        result = SampledResult("b", "s", 100, ipcs=[1.0, 2.0, 3.0])
+        assert result.mean == pytest.approx(2.0)
+        assert result.stdev == pytest.approx(1.0)
+        assert result.relative_stdev == pytest.approx(0.5)
+
+    def test_single_window_has_zero_stdev(self):
+        result = SampledResult("b", "s", 100, ipcs=[1.5])
+        assert result.stdev == 0.0
+
+    def test_format_line(self):
+        result = SampledResult("hmmer", "dom", 500, ipcs=[1.0, 1.2])
+        text = result.format_line()
+        assert "hmmer/dom" in text
+        assert "2 windows of 500" in text
+
+
+class TestSampling:
+    def test_collects_requested_windows(self):
+        result = sample_benchmark(
+            "hmmer", "unsafe", windows=3, window_instructions=1500, warmup=800
+        )
+        assert len(result.ipcs) == 3
+        assert all(ipc > 0 for ipc in result.ipcs)
+
+    def test_steady_state_is_stable(self):
+        """Consecutive warm windows of a regular kernel must agree within
+        a few percent — the measurement-stability property the figure
+        windows rely on."""
+        result = sample_benchmark(
+            "hmmer", "unsafe", windows=4, window_instructions=5000, warmup=6000
+        )
+        assert result.relative_stdev < 0.08
+
+    def test_invalid_window_count(self):
+        with pytest.raises(ValueError):
+            sample_benchmark("hmmer", "unsafe", windows=0)
+
+    def test_normalized_with_error(self):
+        ratio, spread = normalized_with_error(
+            "hmmer", "dom", windows=3, window_instructions=1500, warmup=1000
+        )
+        assert 0.2 < ratio <= 1.1
+        assert spread >= 0.0

@@ -1,0 +1,127 @@
+"""Unit tests for the two-pass assembler."""
+
+import pytest
+
+from repro.common.errors import AssemblyError
+from repro.isa.assembler import assemble
+from repro.isa.instructions import Opcode
+
+
+class TestBasicParsing:
+    def test_empty_source(self):
+        assert assemble("") == []
+
+    def test_comments_and_blanks_ignored(self):
+        source = """
+        # a comment
+        nop  ; trailing comment
+        ; full line comment
+        """
+        instructions = assemble(source)
+        assert len(instructions) == 1
+        assert instructions[0].opcode is Opcode.NOP
+
+    def test_li(self):
+        (inst,) = assemble("li r5, 42")
+        assert inst.opcode is Opcode.LI
+        assert inst.rd == 5
+        assert inst.imm == 42
+
+    def test_negative_and_hex_immediates(self):
+        insts = assemble("addi r1, r2, -8\nli r3, 0x1000")
+        assert insts[0].imm == -8
+        assert insts[1].imm == 0x1000
+
+    def test_three_register_form(self):
+        (inst,) = assemble("xor r1, r2, r3")
+        assert (inst.rd, inst.rs1, inst.rs2) == (1, 2, 3)
+
+    def test_load_store_memory_operands(self):
+        load, store = assemble("load r1, [r2 + 16]\nstore r3, [r4 - 8]")
+        assert (load.rd, load.rs1, load.imm) == (1, 2, 16)
+        assert (store.rs2, store.rs1, store.imm) == (3, 4, -8)
+
+    def test_memory_operand_without_displacement(self):
+        (load,) = assemble("load r1, [r2]")
+        assert load.imm == 0
+
+    def test_case_insensitive_mnemonics_registers(self):
+        (inst,) = assemble("ADD r1, R2, r3")
+        assert inst.opcode is Opcode.ADD
+
+
+class TestLabels:
+    def test_forward_and_backward_labels(self):
+        source = """
+        start:
+            beq r1, r0, end
+            jmp start
+        end:
+            halt
+        """
+        insts = assemble(source)
+        assert insts[0].imm == 2  # end
+        assert insts[1].imm == 0  # start
+
+    def test_label_on_same_line_as_instruction(self):
+        insts = assemble("loop: addi r1, r1, 1\njmp loop")
+        assert insts[1].imm == 0
+
+    def test_numeric_branch_target(self):
+        (inst,) = assemble("jmp 7")
+        assert inst.imm == 7
+
+    def test_multiple_labels_same_position(self):
+        insts = assemble("a: b: nop\njmp a\njmp b")
+        assert insts[1].imm == 0
+        assert insts[2].imm == 0
+
+    def test_duplicate_label_rejected(self):
+        with pytest.raises(AssemblyError, match="duplicate"):
+            assemble("x: nop\nx: nop")
+
+    def test_unknown_label_rejected(self):
+        with pytest.raises(AssemblyError, match="unknown label"):
+            assemble("jmp nowhere")
+
+
+class TestErrors:
+    def test_unknown_mnemonic(self):
+        with pytest.raises(AssemblyError, match="unknown mnemonic"):
+            assemble("frobnicate r1")
+
+    def test_wrong_operand_count(self):
+        with pytest.raises(AssemblyError, match="expects"):
+            assemble("add r1, r2")
+
+    def test_bad_register(self):
+        with pytest.raises(AssemblyError):
+            assemble("li r99, 1")
+
+    def test_bad_memory_operand(self):
+        with pytest.raises(AssemblyError, match="bad memory operand"):
+            assemble("load r1, r2")
+
+    def test_error_reports_line_number(self):
+        with pytest.raises(AssemblyError, match="line 3"):
+            assemble("nop\nnop\nbogus r1")
+
+
+class TestRoundTrip:
+    def test_assemble_disassemble_reassemble(self):
+        source = "\n".join(
+            [
+                "li r1, 10",
+                "addi r2, r1, 5",
+                "mul r3, r1, r2",
+                "load r4, [r3 + 8]",
+                "store r4, [r1 + 0]",
+                "beq r4, r0, 7",
+                "jmp 0",
+                "halt",
+            ]
+        )
+        first = assemble(source)
+        text = "\n".join(inst.disassemble() for inst in first)
+        second = assemble(text)
+        assert first == second

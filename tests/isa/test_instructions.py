@@ -1,0 +1,130 @@
+"""Unit tests for the micro-ISA instruction definitions."""
+
+import pytest
+
+from repro.common.errors import AssemblyError
+from repro.isa.instructions import (
+    KIND_ALU,
+    KIND_CBRANCH,
+    KIND_HALT,
+    KIND_JMP,
+    KIND_LOAD,
+    KIND_NOP,
+    KIND_STORE,
+    WORD_MASK,
+    Instruction,
+    Opcode,
+    branch_taken,
+    evaluate_alu,
+)
+
+
+class TestInstructionConstruction:
+    def test_register_bounds_checked(self):
+        with pytest.raises(AssemblyError):
+            Instruction(Opcode.ADD, rd=32, rs1=1, rs2=2)
+        with pytest.raises(AssemblyError):
+            Instruction(Opcode.ADD, rd=1, rs1=-1, rs2=2)
+
+    def test_kind_precomputed(self):
+        assert Instruction(Opcode.ADD, rd=1, rs1=2, rs2=3).kind == KIND_ALU
+        assert Instruction(Opcode.LI, rd=1, imm=5).kind == KIND_ALU
+        assert Instruction(Opcode.LOAD, rd=1, rs1=2).kind == KIND_LOAD
+        assert Instruction(Opcode.STORE, rs2=1, rs1=2).kind == KIND_STORE
+        assert Instruction(Opcode.BEQ, rs1=1, rs2=2, imm=0).kind == KIND_CBRANCH
+        assert Instruction(Opcode.JMP, imm=3).kind == KIND_JMP
+        assert Instruction(Opcode.NOP).kind == KIND_NOP
+        assert Instruction(Opcode.HALT).kind == KIND_HALT
+
+    def test_classification_properties(self):
+        load = Instruction(Opcode.LOAD, rd=1, rs1=2)
+        assert load.is_load and not load.is_store and not load.is_branch
+        store = Instruction(Opcode.STORE, rs2=1, rs1=2)
+        assert store.is_store and not store.writes_register
+        beq = Instruction(Opcode.BEQ, rs1=1, rs2=2, imm=7)
+        assert beq.is_branch and beq.is_conditional_branch
+        jmp = Instruction(Opcode.JMP, imm=7)
+        assert jmp.is_branch and not jmp.is_conditional_branch
+
+    def test_writes_register_excludes_r0(self):
+        assert not Instruction(Opcode.LI, rd=0, imm=5).writes_register
+        assert Instruction(Opcode.LI, rd=1, imm=5).writes_register
+
+    def test_source_registers_exclude_r0(self):
+        inst = Instruction(Opcode.ADD, rd=1, rs1=0, rs2=2)
+        assert inst.source_registers() == (2,)
+
+    def test_mul_flag(self):
+        assert Instruction(Opcode.MUL, rd=1, rs1=2, rs2=3).is_mul
+        assert Instruction(Opcode.MULI, rd=1, rs1=2, imm=3).is_mul
+        assert not Instruction(Opcode.ADD, rd=1, rs1=2, rs2=3).is_mul
+
+
+class TestDisassembly:
+    @pytest.mark.parametrize(
+        "inst,text",
+        [
+            (Instruction(Opcode.LI, rd=1, imm=42), "li r1, 42"),
+            (Instruction(Opcode.MOV, rd=1, rs1=2), "mov r1, r2"),
+            (Instruction(Opcode.ADD, rd=1, rs1=2, rs2=3), "add r1, r2, r3"),
+            (Instruction(Opcode.ADDI, rd=1, rs1=2, imm=-4), "addi r1, r2, -4"),
+            (Instruction(Opcode.LOAD, rd=1, rs1=2, imm=8), "load r1, [r2 + 8]"),
+            (Instruction(Opcode.STORE, rs2=1, rs1=2, imm=8), "store r1, [r2 + 8]"),
+            (Instruction(Opcode.BEQ, rs1=1, rs2=2, imm=9), "beq r1, r2, 9"),
+            (Instruction(Opcode.JMP, imm=3), "jmp 3"),
+            (Instruction(Opcode.NOP), "nop"),
+            (Instruction(Opcode.HALT), "halt"),
+        ],
+    )
+    def test_round_trippable_text(self, inst, text):
+        assert inst.disassemble() == text
+
+
+class TestALUEvaluation:
+    def test_add_wraps_64_bits(self):
+        assert evaluate_alu(Opcode.ADD, WORD_MASK, 1) == 0
+
+    def test_sub_wraps(self):
+        assert evaluate_alu(Opcode.SUB, 0, 1) == WORD_MASK
+
+    def test_mul_masks(self):
+        assert evaluate_alu(Opcode.MUL, 1 << 63, 2) == 0
+
+    def test_logic_ops(self):
+        assert evaluate_alu(Opcode.AND, 0b1100, 0b1010) == 0b1000
+        assert evaluate_alu(Opcode.OR, 0b1100, 0b1010) == 0b1110
+        assert evaluate_alu(Opcode.XOR, 0b1100, 0b1010) == 0b0110
+
+    def test_shifts_mask_amount(self):
+        assert evaluate_alu(Opcode.SHL, 1, 64) == 1  # shift by 64 & 63 == 0
+        assert evaluate_alu(Opcode.SHR, 8, 3) == 1
+
+    def test_li_returns_immediate(self):
+        assert evaluate_alu(Opcode.LI, 0, 17) == 17
+
+    def test_mov_passes_first_operand(self):
+        assert evaluate_alu(Opcode.MOV, 23, 99) == 23
+
+    def test_non_alu_raises(self):
+        with pytest.raises(ValueError):
+            evaluate_alu(Opcode.LOAD, 1, 2)
+
+
+class TestBranchPredicates:
+    def test_equality(self):
+        assert branch_taken(Opcode.BEQ, 5, 5)
+        assert not branch_taken(Opcode.BEQ, 5, 6)
+        assert branch_taken(Opcode.BNE, 5, 6)
+
+    def test_signed_comparison(self):
+        minus_one = WORD_MASK  # two's complement -1
+        assert branch_taken(Opcode.BLT, minus_one, 0)
+        assert branch_taken(Opcode.BGE, 0, minus_one)
+        assert not branch_taken(Opcode.BLT, 0, minus_one)
+
+    def test_jmp_always_taken(self):
+        assert branch_taken(Opcode.JMP, 0, 0)
+
+    def test_non_branch_raises(self):
+        with pytest.raises(ValueError):
+            branch_taken(Opcode.ADD, 1, 2)

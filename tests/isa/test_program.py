@@ -1,0 +1,160 @@
+"""Tests for Program and the functional (in-order) interpreter."""
+
+import pytest
+
+from repro.common.errors import ExecutionError
+from repro.isa.assembler import assemble
+from repro.isa.builder import CodeBuilder
+from repro.isa.program import ArchState, Program
+
+
+class TestArchState:
+    def test_r0_always_zero(self):
+        state = ArchState()
+        state.write_reg(0, 999)
+        assert state.read_reg(0) == 0
+
+    def test_register_values_masked_to_64_bits(self):
+        state = ArchState()
+        state.write_reg(1, 1 << 64)
+        assert state.read_reg(1) == 0
+
+    def test_memory_word_aligned(self):
+        state = ArchState()
+        state.write_mem(0x1003, 7)  # unaligned address
+        assert state.read_mem(0x1000) == 7
+        assert state.read_mem(0x1007) == 7  # same word
+
+    def test_unwritten_memory_reads_zero(self):
+        assert ArchState().read_mem(0xDEAD000) == 0
+
+    def test_copy_is_independent(self):
+        state = ArchState()
+        state.write_reg(1, 5)
+        clone = state.copy()
+        clone.write_reg(1, 6)
+        assert state.read_reg(1) == 5
+
+
+class TestInterpreter:
+    def test_straight_line(self):
+        program = Program(assemble("li r1, 2\nli r2, 3\nadd r3, r1, r2\nhalt"))
+        result = program.interpret()
+        assert result.halted
+        assert result.state.read_reg(3) == 5
+        assert result.instructions_executed == 4
+
+    def test_loop_sum(self):
+        source = """
+            li r1, 10
+            li r2, 0
+            li r3, 0
+        loop:
+            add r3, r3, r2
+            addi r2, r2, 1
+            blt r2, r1, loop
+            store r3, [r0 + 8]
+            halt
+        """
+        result = Program(assemble(source)).interpret()
+        assert result.state.read_mem(8) == sum(range(10))
+
+    def test_branch_trace_records_conditional_outcomes(self):
+        source = """
+            li r1, 3
+            li r2, 0
+        loop:
+            addi r2, r2, 1
+            blt r2, r1, loop
+            halt
+        """
+        result = Program(assemble(source)).interpret()
+        assert result.branch_trace == [True, True, False]
+
+    def test_memory_initial_image(self):
+        program = Program(
+            assemble("load r1, [r0 + 64]\nhalt"), initial_memory={64: 77}
+        )
+        assert program.interpret().state.read_reg(1) == 77
+
+    def test_initial_registers(self):
+        program = Program(assemble("addi r2, r1, 1\nhalt"), initial_registers={1: 9})
+        assert program.interpret().state.read_reg(2) == 10
+
+    def test_falls_off_end_without_halt(self):
+        result = Program(assemble("nop")).interpret()
+        assert not result.halted
+        assert result.instructions_executed == 1
+
+    def test_infinite_loop_raises(self):
+        program = Program(assemble("loop: jmp loop"))
+        with pytest.raises(ExecutionError, match="exceeded"):
+            program.interpret(max_instructions=1000)
+
+    def test_fetch_out_of_range_returns_none(self):
+        program = Program(assemble("halt"))
+        assert program.fetch(-1) is None
+        assert program.fetch(1) is None
+        assert program.fetch(0) is not None
+
+    def test_disassemble_includes_pcs(self):
+        text = Program(assemble("nop\nhalt")).disassemble()
+        assert "0: nop" in text
+        assert "1: halt" in text
+
+
+class TestCodeBuilderPrograms:
+    def test_builder_matches_assembler(self):
+        b = CodeBuilder()
+        b.li(1, 10)
+        b.li(2, 0)
+        b.li(3, 0)
+        b.label("loop")
+        b.add(3, 3, 2)
+        b.addi(2, 2, 1)
+        b.blt(2, 1, "loop")
+        b.store(3, 0, disp=8)
+        b.halt()
+        built = b.build()
+        source = """
+            li r1, 10
+            li r2, 0
+            li r3, 0
+        loop:
+            add r3, r3, r2
+            addi r2, r2, 1
+            blt r2, r1, loop
+            store r3, [r0 + 8]
+            halt
+        """
+        assert built.instructions == assemble(source)
+
+    def test_set_array_list_layout(self):
+        b = CodeBuilder()
+        b.set_array(0x100, [5, 6, 7])
+        b.halt()
+        program = b.build()
+        state = program.initial_state()
+        assert [state.read_mem(0x100 + 8 * i) for i in range(3)] == [5, 6, 7]
+
+    def test_set_array_mapping_layout(self):
+        b = CodeBuilder()
+        b.set_array(0x100, {0: 5, 4: 9})
+        b.halt()
+        state = b.build().initial_state()
+        assert state.read_mem(0x100) == 5
+        assert state.read_mem(0x100 + 32) == 9
+
+    def test_undefined_label_raises_at_build(self):
+        from repro.common.errors import AssemblyError
+
+        b = CodeBuilder()
+        b.jmp("nowhere")
+        with pytest.raises(AssemblyError, match="undefined label"):
+            b.build()
+
+    def test_here_tracks_position(self):
+        b = CodeBuilder()
+        assert b.here == 0
+        b.nop(3)
+        assert b.here == 3

@@ -1,0 +1,102 @@
+"""Property-based tests for the ISA layer (hypothesis)."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isa.assembler import assemble
+from repro.isa.instructions import WORD_MASK, Opcode, branch_taken, evaluate_alu
+from repro.isa.program import ArchState
+
+WORDS = st.integers(min_value=0, max_value=WORD_MASK)
+
+
+class TestALUProperties:
+    @given(WORDS, WORDS)
+    def test_results_always_in_range(self, a, b):
+        for op in (Opcode.ADD, Opcode.SUB, Opcode.MUL, Opcode.AND, Opcode.OR,
+                   Opcode.XOR, Opcode.SHL, Opcode.SHR, Opcode.MOV, Opcode.LI):
+            result = evaluate_alu(op, a, b)
+            assert 0 <= result <= WORD_MASK
+
+    @given(WORDS, WORDS)
+    def test_add_sub_inverse(self, a, b):
+        assert evaluate_alu(Opcode.SUB, evaluate_alu(Opcode.ADD, a, b), b) == a
+
+    @given(WORDS, WORDS)
+    def test_xor_self_inverse(self, a, b):
+        assert evaluate_alu(Opcode.XOR, evaluate_alu(Opcode.XOR, a, b), b) == a
+
+    @given(WORDS)
+    def test_and_identity_and_zero(self, a):
+        assert evaluate_alu(Opcode.AND, a, WORD_MASK) == a
+        assert evaluate_alu(Opcode.AND, a, 0) == 0
+
+    @given(WORDS, WORDS)
+    def test_commutativity(self, a, b):
+        for op in (Opcode.ADD, Opcode.MUL, Opcode.AND, Opcode.OR, Opcode.XOR):
+            assert evaluate_alu(op, a, b) == evaluate_alu(op, b, a)
+
+
+class TestBranchProperties:
+    @given(WORDS, WORDS)
+    def test_beq_bne_complementary(self, a, b):
+        assert branch_taken(Opcode.BEQ, a, b) != branch_taken(Opcode.BNE, a, b)
+
+    @given(WORDS, WORDS)
+    def test_blt_bge_complementary(self, a, b):
+        assert branch_taken(Opcode.BLT, a, b) != branch_taken(Opcode.BGE, a, b)
+
+    @given(WORDS)
+    def test_blt_irreflexive(self, a):
+        assert not branch_taken(Opcode.BLT, a, a)
+        assert branch_taken(Opcode.BGE, a, a)
+
+
+class TestArchStateProperties:
+    @given(st.integers(min_value=0, max_value=WORD_MASK), WORDS)
+    def test_memory_read_back(self, address, value):
+        state = ArchState()
+        state.write_mem(address, value)
+        assert state.read_mem(address) == value
+
+    @given(st.integers(min_value=1, max_value=31), WORDS)
+    def test_register_read_back(self, reg, value):
+        state = ArchState()
+        state.write_reg(reg, value)
+        assert state.read_reg(reg) == value
+
+    @given(st.integers(min_value=0, max_value=1 << 20), WORDS, WORDS)
+    def test_same_word_aliases(self, address, v1, v2):
+        state = ArchState()
+        aligned = address & ~7
+        state.write_mem(aligned, v1)
+        state.write_mem(aligned + 7, v2)  # same word
+        assert state.read_mem(aligned) == v2
+
+
+class TestAssemblerProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_disassemble_reassemble_fixpoint(self, seed):
+        """Random instruction soup survives a disassemble/assemble cycle."""
+        rng = random.Random(seed)
+        lines = []
+        for _ in range(rng.randrange(1, 25)):
+            choice = rng.random()
+            rd, ra, rb = (rng.randrange(32) for _ in range(3))
+            if choice < 0.3:
+                lines.append(f"add r{rd}, r{ra}, r{rb}")
+            elif choice < 0.5:
+                lines.append(f"addi r{rd}, r{ra}, {rng.randrange(-999, 999)}")
+            elif choice < 0.65:
+                lines.append(f"load r{rd}, [r{ra} + {rng.randrange(0, 512)}]")
+            elif choice < 0.8:
+                lines.append(f"store r{rb}, [r{ra} + {rng.randrange(0, 512)}]")
+            else:
+                lines.append(f"li r{rd}, {rng.randrange(0, 1 << 16)}")
+        lines.append("halt")
+        first = assemble("\n".join(lines))
+        second = assemble("\n".join(i.disassemble() for i in first))
+        assert first == second

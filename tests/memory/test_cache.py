@@ -1,0 +1,134 @@
+"""Unit tests for the set-associative cache level."""
+
+import pytest
+
+from repro.common.config import CacheConfig
+from repro.memory.cache import CacheLevel
+from repro.memory.replacement import FIFOPolicy, LRUPolicy
+
+
+def tiny_cache(ways=2, sets=4, policy=None) -> CacheLevel:
+    config = CacheConfig("T", size_bytes=64 * ways * sets, ways=ways, latency=1)
+    return CacheLevel(config, policy)
+
+
+class TestBasicOperations:
+    def test_empty_cache_misses(self):
+        cache = tiny_cache()
+        assert not cache.lookup(0)
+        assert not cache.access(0, cycle=0)
+
+    def test_fill_then_hit(self):
+        cache = tiny_cache()
+        cache.fill(5, cycle=0)
+        assert cache.lookup(5)
+        assert cache.access(5, cycle=1)
+
+    def test_line_address_uses_line_size(self):
+        cache = tiny_cache()
+        assert cache.line_address(0) == 0
+        assert cache.line_address(63) == 0
+        assert cache.line_address(64) == 1
+
+    def test_set_mapping_modulo(self):
+        cache = tiny_cache(sets=4)
+        assert cache.set_index(0) == cache.set_index(4)
+        assert cache.set_index(1) != cache.set_index(2)
+
+    def test_occupancy_counts_lines(self):
+        cache = tiny_cache()
+        cache.fill(0, 0)
+        cache.fill(1, 0)
+        assert cache.occupancy() == 2
+
+    def test_flush_empties_cache(self):
+        cache = tiny_cache()
+        cache.fill(0, 0)
+        cache.flush()
+        assert cache.occupancy() == 0
+        assert not cache.lookup(0)
+
+
+class TestEviction:
+    def test_lru_victim(self):
+        cache = tiny_cache(ways=2, sets=1, policy=LRUPolicy())
+        cache.fill(0, cycle=0)
+        cache.fill(1, cycle=1)
+        cache.access(0, cycle=2)  # 1 becomes LRU
+        evicted = cache.fill(2, cycle=3)
+        assert evicted == (1, False)
+        assert cache.lookup(0) and cache.lookup(2) and not cache.lookup(1)
+
+    def test_fifo_ignores_touches(self):
+        cache = tiny_cache(ways=2, sets=1, policy=FIFOPolicy())
+        cache.fill(0, cycle=0)
+        cache.fill(1, cycle=1)
+        cache.access(0, cycle=5)  # touch does not save it under FIFO
+        evicted = cache.fill(2, cycle=6)
+        assert evicted == (0, False)
+
+    def test_dirty_eviction_reported(self):
+        cache = tiny_cache(ways=1, sets=1)
+        cache.fill(0, cycle=0, is_write=True)
+        evicted = cache.fill(1, cycle=1)
+        assert evicted == (0, True)
+
+    def test_refill_same_line_no_eviction(self):
+        cache = tiny_cache(ways=1, sets=1)
+        cache.fill(0, cycle=0)
+        assert cache.fill(0, cycle=1) is None
+
+    def test_invalid_way_used_before_eviction(self):
+        cache = tiny_cache(ways=2, sets=1)
+        cache.fill(0, cycle=0)
+        assert cache.fill(4, cycle=1) is None  # second way free
+        assert cache.occupancy() == 2
+
+
+class TestDoMSupport:
+    def test_lookup_does_not_touch_replacement(self):
+        """A DoM probe must not change which line is the LRU victim."""
+        cache = tiny_cache(ways=2, sets=1, policy=LRUPolicy())
+        cache.fill(0, cycle=0)
+        cache.fill(1, cycle=1)
+        cache.lookup(0)  # probe — must NOT refresh line 0
+        evicted = cache.fill(2, cycle=2)
+        assert evicted is not None and evicted[0] == 0
+
+    def test_retroactive_touch_updates_replacement(self):
+        """DoM's delayed replacement update: touch at commit."""
+        cache = tiny_cache(ways=2, sets=1, policy=LRUPolicy())
+        cache.fill(0, cycle=0)
+        cache.fill(1, cycle=1)
+        assert cache.touch(0, cycle=2)  # commit-time update
+        evicted = cache.fill(2, cycle=3)
+        assert evicted is not None and evicted[0] == 1
+
+    def test_touch_of_evicted_line_returns_false(self):
+        cache = tiny_cache(ways=1, sets=1)
+        cache.fill(0, cycle=0)
+        cache.fill(1, cycle=1)  # evicts 0
+        assert not cache.touch(0, cycle=2)
+
+
+class TestInvalidation:
+    def test_invalidate_removes_line(self):
+        cache = tiny_cache()
+        cache.fill(3, cycle=0)
+        assert cache.invalidate(3)
+        assert not cache.lookup(3)
+
+    def test_invalidate_missing_line(self):
+        assert not tiny_cache().invalidate(3)
+
+    def test_invalidated_way_reusable(self):
+        cache = tiny_cache(ways=1, sets=1)
+        cache.fill(0, cycle=0)
+        cache.invalidate(0)
+        assert cache.fill(1, cycle=1) is None  # no eviction needed
+
+    def test_resident_lines_listing(self):
+        cache = tiny_cache()
+        cache.fill(1, 0)
+        cache.fill(2, 0)
+        assert sorted(cache.resident_lines()) == [1, 2]

@@ -1,0 +1,61 @@
+"""Unit tests for the MSHR file."""
+
+import pytest
+
+from repro.memory.mshr import MSHRFile
+
+
+class TestAllocation:
+    def test_needs_at_least_one_entry(self):
+        with pytest.raises(ValueError):
+            MSHRFile(0)
+
+    def test_allocate_until_full(self):
+        mshrs = MSHRFile(2)
+        assert mshrs.can_allocate(cycle=0)
+        mshrs.allocate(line=1, completion=100, cycle=0)
+        mshrs.allocate(line=2, completion=100, cycle=0)
+        assert not mshrs.can_allocate(cycle=0)
+
+    def test_entries_expire_at_completion(self):
+        mshrs = MSHRFile(1)
+        mshrs.allocate(line=1, completion=10, cycle=0)
+        assert not mshrs.can_allocate(cycle=9)
+        assert mshrs.can_allocate(cycle=10)
+
+    def test_overallocation_raises(self):
+        mshrs = MSHRFile(1)
+        mshrs.allocate(line=1, completion=10, cycle=0)
+        with pytest.raises(RuntimeError):
+            mshrs.allocate(line=2, completion=10, cycle=0)
+
+    def test_in_flight_count(self):
+        mshrs = MSHRFile(4)
+        mshrs.allocate(1, 10, 0)
+        mshrs.allocate(2, 20, 0)
+        assert mshrs.in_flight(0) == 2
+        assert mshrs.in_flight(15) == 1
+        assert mshrs.in_flight(25) == 0
+
+
+class TestCoalescing:
+    def test_same_line_coalesces(self):
+        """A second request to an outstanding line needs no new entry."""
+        mshrs = MSHRFile(1)
+        mshrs.allocate(line=7, completion=50, cycle=0)
+        assert mshrs.outstanding_completion(7, cycle=5) == 50
+        # Re-allocating the same line is permitted even when "full".
+        mshrs.allocate(line=7, completion=60, cycle=5)
+        assert mshrs.outstanding_completion(7, cycle=5) == 50  # keeps earliest
+
+    def test_completed_line_no_longer_outstanding(self):
+        mshrs = MSHRFile(1)
+        mshrs.allocate(line=7, completion=10, cycle=0)
+        assert mshrs.outstanding_completion(7, cycle=10) is None
+
+    def test_reset_clears_everything(self):
+        mshrs = MSHRFile(1)
+        mshrs.allocate(1, 100, 0)
+        mshrs.reset()
+        assert mshrs.can_allocate(0)
+        assert mshrs.outstanding_completion(1, 0) is None

@@ -1,0 +1,198 @@
+"""Property-based tests for the memory subsystem (hypothesis).
+
+Each test drives a component with a random operation stream and checks
+invariants against either an independent reference model or internal
+consistency rules.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.config import CacheConfig, MemoryConfig
+from repro.common.stats import SimStats
+from repro.memory.cache import CacheLevel
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.memory.mshr import MSHRFile
+
+# Small geometries so collisions/evictions happen constantly.
+LINES = st.integers(min_value=0, max_value=63)
+
+
+def tiny_cache() -> CacheLevel:
+    return CacheLevel(CacheConfig("T", 64 * 2 * 4, ways=2, latency=1))
+
+
+class ReferenceLRUSet:
+    """Independent model: per-set LRU list of at most `ways` lines."""
+
+    def __init__(self, sets: int, ways: int):
+        self.sets = [[] for _ in range(sets)]
+        self.ways = ways
+
+    def fill(self, line: int) -> None:
+        bucket = self.sets[line % len(self.sets)]
+        if line in bucket:
+            bucket.remove(line)
+        elif len(bucket) == self.ways:
+            bucket.pop(0)  # evict LRU
+        bucket.append(line)
+
+    def touch(self, line: int) -> None:
+        bucket = self.sets[line % len(self.sets)]
+        if line in bucket:
+            bucket.remove(line)
+            bucket.append(line)
+
+    def contains(self, line: int) -> bool:
+        return line in self.sets[line % len(self.sets)]
+
+
+class TestCacheAgainstReference:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(st.sampled_from(["fill", "access", "lookup", "invalidate"]), LINES),
+            min_size=1,
+            max_size=120,
+        )
+    )
+    def test_matches_reference_lru(self, operations):
+        cache = tiny_cache()
+        reference = ReferenceLRUSet(cache.num_sets, cache.ways)
+        cycle = 0
+        for op, line in operations:
+            cycle += 1
+            if op == "fill":
+                cache.fill(line, cycle)
+                reference.fill(line)
+            elif op == "access":
+                hit = cache.access(line, cycle)
+                assert hit == reference.contains(line)
+                reference.touch(line)
+            elif op == "lookup":
+                assert cache.lookup(line) == reference.contains(line)
+            else:
+                cache.invalidate(line)
+                bucket = reference.sets[line % len(reference.sets)]
+                if line in bucket:
+                    bucket.remove(line)
+            # Global invariants.
+            assert cache.occupancy() <= cache.num_sets * cache.ways
+            for resident in cache.resident_lines():
+                assert reference.contains(resident)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(LINES, min_size=1, max_size=80))
+    def test_fill_is_idempotent_for_residency(self, lines):
+        cache = tiny_cache()
+        for cycle, line in enumerate(lines):
+            cache.fill(line, cycle)
+            assert cache.lookup(line)  # most recent fill always resident
+
+
+class TestMSHRProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(LINES, st.integers(min_value=1, max_value=30)),
+            min_size=1,
+            max_size=60,
+        )
+    )
+    def test_capacity_never_exceeded(self, requests):
+        mshrs = MSHRFile(4)
+        cycle = 0
+        for line, latency in requests:
+            cycle += 1
+            if mshrs.outstanding_completion(line, cycle) is not None:
+                mshrs.allocate(line, cycle + latency, cycle)  # coalesce
+            elif mshrs.can_allocate(cycle):
+                mshrs.allocate(line, cycle + latency, cycle)
+            assert mshrs.in_flight(cycle) <= 4
+
+    @settings(max_examples=50, deadline=None)
+    @given(LINES, st.integers(min_value=1, max_value=50))
+    def test_completion_frees_entry(self, line, latency):
+        mshrs = MSHRFile(1)
+        mshrs.allocate(line, latency, 0)
+        assert not mshrs.can_allocate(latency - 1)
+        assert mshrs.can_allocate(latency)
+
+
+class TestHierarchyProperties:
+    def _hierarchy(self) -> MemoryHierarchy:
+        return MemoryHierarchy(
+            MemoryConfig(
+                l1=CacheConfig("L1", 1024, 2, latency=2, mshrs=4),
+                l2=CacheConfig("L2", 4096, 4, latency=8),
+                l3=CacheConfig("L3", 16384, 8, latency=20),
+                dram_latency=30,
+            ),
+            SimStats(),
+        )
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(
+            st.integers(min_value=0, max_value=1 << 16),
+            min_size=1,
+            max_size=80,
+        )
+    )
+    def test_counter_consistency(self, addresses):
+        hierarchy = self._hierarchy()
+        cycle = 0
+        for address in addresses:
+            cycle += 100  # plenty of time: no MSHR pressure
+            hierarchy.access(address, cycle)
+        stats = hierarchy.stats
+        assert stats.l1_accesses == len(addresses)
+        assert stats.l1_hits + stats.l1_misses == stats.l1_accesses
+        assert stats.l2_accesses <= stats.l1_misses
+        assert stats.l3_accesses <= stats.l2_accesses
+        assert stats.dram_accesses <= stats.l3_accesses
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(
+            st.integers(min_value=0, max_value=1 << 14),
+            min_size=1,
+            max_size=60,
+        )
+    )
+    def test_latency_monotone_in_level(self, addresses):
+        hierarchy = self._hierarchy()
+        cycle = 0
+        for address in addresses:
+            cycle += 100
+            result = hierarchy.access(address, cycle)
+            assert not result.retry
+            if result.level == 1:
+                assert result.latency == 2
+            elif result.level == 2:
+                assert result.latency == 8
+            elif result.level == 3:
+                assert result.latency == 20
+            else:
+                assert result.latency == 50
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(
+            st.integers(min_value=0, max_value=1 << 14),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    def test_probe_never_changes_observable_state(self, addresses):
+        hierarchy = self._hierarchy()
+        cycle = 0
+        for address in addresses:
+            cycle += 100
+            hierarchy.access(address, cycle)
+        resident_before = sorted(hierarchy.l1.resident_lines())
+        for address in addresses:
+            cycle += 1
+            hierarchy.probe(address, cycle)
+        assert sorted(hierarchy.l1.resident_lines()) == resident_before
+        assert hierarchy.stats.l2_accesses == hierarchy.stats.l2_accesses

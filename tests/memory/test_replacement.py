@@ -1,0 +1,47 @@
+"""Tests for replacement policies."""
+
+import pytest
+
+from repro.memory.replacement import (
+    FIFOPolicy,
+    LRUPolicy,
+    RandomPolicy,
+    make_policy,
+)
+
+
+class TestLRU:
+    def test_picks_least_recent_touch(self):
+        assert LRUPolicy().victim([5, 2, 9], [0, 0, 0]) == 1
+
+    def test_first_way_wins_ties(self):
+        assert LRUPolicy().victim([3, 3, 3], [0, 0, 0]) == 0
+
+
+class TestFIFO:
+    def test_picks_oldest_fill(self):
+        assert FIFOPolicy().victim([9, 9, 9], [4, 1, 7]) == 1
+
+
+class TestRandom:
+    def test_deterministic_with_seed(self):
+        a = RandomPolicy(seed=7)
+        b = RandomPolicy(seed=7)
+        picks_a = [a.victim([0] * 8, [0] * 8) for _ in range(20)]
+        picks_b = [b.victim([0] * 8, [0] * 8) for _ in range(20)]
+        assert picks_a == picks_b
+
+    def test_within_bounds(self):
+        policy = RandomPolicy(seed=1)
+        assert all(0 <= policy.victim([0] * 4, [0] * 4) < 4 for _ in range(50))
+
+
+class TestFactory:
+    def test_known_policies(self):
+        assert isinstance(make_policy("lru"), LRUPolicy)
+        assert isinstance(make_policy("FIFO"), FIFOPolicy)
+        assert isinstance(make_policy("random", seed=3), RandomPolicy)
+
+    def test_unknown_policy(self):
+        with pytest.raises(ValueError, match="unknown replacement"):
+            make_policy("plru")

@@ -1,0 +1,60 @@
+"""Tests for the per-line access-count watch (the attack observer's
+fine-grained channel)."""
+
+import pytest
+
+from repro.common.config import MemoryConfig
+from repro.common.stats import SimStats
+from repro.memory.hierarchy import MemoryHierarchy
+
+
+@pytest.fixture
+def hierarchy():
+    return MemoryHierarchy(MemoryConfig(), SimStats())
+
+
+class TestWatch:
+    def test_counts_accesses_to_watched_lines(self, hierarchy):
+        hierarchy.watch([0x1000])
+        hierarchy.access(0x1000, 0)
+        hierarchy.access(0x1008, 200)   # same line
+        hierarchy.access(0x2000, 400)   # different line: not counted
+        counts = hierarchy.watched_counts()
+        line = hierarchy.line_address(0x1000)
+        assert counts == {line: 2}
+
+    def test_unwatched_hierarchy_pays_nothing(self, hierarchy):
+        hierarchy.access(0x1000, 0)
+        assert hierarchy.watched_counts() == {}
+
+    def test_probe_not_counted(self, hierarchy):
+        """DoM probes are state-transparent by design: the watch (which
+        models replacement perturbation) must not see them."""
+        hierarchy.watch([0x1000])
+        hierarchy.probe(0x1000, 0)
+        line = hierarchy.line_address(0x1000)
+        assert hierarchy.watched_counts()[line] == 0
+
+    def test_writes_counted(self, hierarchy):
+        hierarchy.watch([0x1000])
+        hierarchy.access(0x1000, 0, is_write=True)
+        line = hierarchy.line_address(0x1000)
+        assert hierarchy.watched_counts()[line] == 1
+
+    def test_watch_is_idempotent(self, hierarchy):
+        hierarchy.watch([0x1000])
+        hierarchy.access(0x1000, 0)
+        hierarchy.watch([0x1000])  # re-watching must not reset counts
+        line = hierarchy.line_address(0x1000)
+        assert hierarchy.watched_counts()[line] == 1
+
+    def test_retry_still_counts_the_attempt(self, hierarchy):
+        """An MSHR-rejected access still reached the L1 (observable)."""
+        hierarchy.watch([0x50000])
+        # Exhaust the 16 MSHRs with distinct lines.
+        for k in range(16):
+            hierarchy.access(0x10000 + 4096 * k, 0)
+        result = hierarchy.access(0x50000, 0)
+        assert result.retry
+        line = hierarchy.line_address(0x50000)
+        assert hierarchy.watched_counts()[line] == 1

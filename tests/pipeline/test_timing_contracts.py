@@ -1,0 +1,148 @@
+"""Timing contracts: the latencies and bandwidth limits the configuration
+promises must be visible in measured cycle counts."""
+
+import pytest
+
+from repro.common.config import CacheConfig, CoreConfig, MemoryConfig, SystemConfig
+from repro.isa.assembler import assemble
+from repro.isa.builder import CodeBuilder
+from repro.isa.program import Program
+from repro.pipeline.core import Core
+from repro.schemes import make_scheme
+
+
+def run(program, config=None, scheme="unsafe"):
+    core = Core(program, make_scheme(scheme), config=config)
+    core.run()
+    return core
+
+
+class TestLatencyContracts:
+    def test_serial_alu_chain_paces_at_alu_latency(self):
+        n = 64
+        body = "\n".join("addi r1, r1, 1" for _ in range(n))
+        program = Program(assemble(f"li r1, 0\n{body}\nhalt"))
+        core = run(program)
+        # The dependent chain bounds execution: at least n * alu_latency.
+        assert core.stats.cycles >= n * core.config.core.alu_latency
+
+    def test_serial_mul_chain_paces_at_mul_latency(self):
+        n = 32
+        body = "\n".join("mul r1, r1, r1" for _ in range(n))
+        program = Program(assemble(f"li r1, 1\n{body}\nhalt"))
+        core = run(program)
+        assert core.stats.cycles >= n * core.config.core.mul_latency
+
+    def test_l1_hit_latency_visible_in_pointer_chase(self):
+        """A warm serial chase costs at least l1.latency per hop."""
+        hops = 24
+        b = CodeBuilder()
+        chain = [0x8000 + 64 * i for i in range(hops + 1)]
+        for here, there in zip(chain, chain[1:]):
+            b.set_memory(here, there)
+        b.li(1, 0x8000)
+        for _ in range(hops):
+            b.load(1, 1)
+        b.halt()
+        core = Core(b.build(), make_scheme("unsafe"))
+        core.hierarchy.warm(chain)
+        core.run()
+        assert core.stats.cycles >= hops * core.config.memory.l1.latency
+
+    def test_dram_latency_dominates_cold_chase(self):
+        hops = 10
+        b = CodeBuilder()
+        chain = [0x80000 + 8192 * i for i in range(hops + 1)]
+        for here, there in zip(chain, chain[1:]):
+            b.set_memory(here, there)
+        b.li(1, chain[0])
+        for _ in range(hops):
+            b.load(1, 1)
+        b.halt()
+        core = run(b.build())
+        memory = core.config.memory
+        assert core.stats.cycles >= hops * (memory.l3.latency + memory.dram_latency)
+
+
+class TestBandwidthContracts:
+    def _independent_loads(self, count=48, base=0x9000):
+        b = CodeBuilder()
+        for i in range(count):
+            b.set_memory(base + 8 * i, i)
+        b.li(1, base)
+        for i in range(count):
+            b.load(2 + (i % 8), 1, disp=8 * i)
+        b.halt()
+        return b.build()
+
+    def test_load_ports_bound_throughput(self):
+        """48 warm independent loads need at least ceil(48/ports) cycles
+        of memory issue."""
+        program = self._independent_loads()
+        narrow_cfg = SystemConfig(core=CoreConfig(load_ports=1))
+        wide = Core(self._independent_loads(), make_scheme("unsafe"))
+        wide.hierarchy.warm([0x9000 + 8 * i for i in range(48)])
+        wide.run()
+        narrow = Core(program, make_scheme("unsafe"), config=narrow_cfg)
+        narrow.hierarchy.warm([0x9000 + 8 * i for i in range(48)])
+        narrow.run()
+        assert narrow.stats.cycles > wide.stats.cycles
+
+    def test_mshrs_bound_mlp(self):
+        """Cold independent misses overlap up to the MSHR count: with 2
+        MSHRs, 16 DRAM misses take at least 8 serial DRAM rounds."""
+        def cold_misses():
+            b = CodeBuilder()
+            b.li(1, 0)
+            for i in range(16):
+                b.load(2 + (i % 8), 1, disp=0x100000 + 8192 * i)
+            b.halt()
+            return b.build()
+
+        starved_cfg = SystemConfig(
+            memory=MemoryConfig(
+                l1=CacheConfig("L1D", 48 * 1024, 12, latency=5, mshrs=2)
+            )
+        )
+        roomy = run(cold_misses())
+        starved = run(cold_misses(), config=starved_cfg)
+        memory = starved.config.memory
+        dram = memory.l3.latency + memory.dram_latency
+        assert starved.stats.cycles >= (16 / 2) * dram * 0.9
+        assert roomy.stats.cycles < starved.stats.cycles
+
+    def test_commit_width_bounds_ipc(self):
+        from tests.conftest import counting_loop
+
+        core = run(counting_loop(500))
+        assert core.stats.ipc <= core.config.core.commit_width
+
+    def test_decode_width_bounds_ipc(self):
+        narrow_cfg = SystemConfig(core=CoreConfig(decode_width=1))
+        from tests.conftest import counting_loop
+
+        core = run(counting_loop(500), config=narrow_cfg)
+        assert core.stats.ipc <= 1.0 + 1e-9
+
+
+class TestMispredictCost:
+    def test_mispredict_costs_at_least_resolution_plus_redirect(self):
+        """One guaranteed mispredict adds at least the pipeline-floor
+        resolution delay plus the refetch penalty."""
+        taken_once = Program(
+            assemble(
+                """
+                li r1, 1
+                beq r1, r1, target
+                nop
+            target:
+                halt
+                """
+            )
+        )
+        straight = Program(assemble("li r1, 1\nnop\nhalt"))
+        with_miss = run(taken_once)
+        without = run(straight)
+        core_cfg = with_miss.config.core
+        floor = core_cfg.mispredict_penalty
+        assert with_miss.stats.cycles - without.stats.cycles >= floor

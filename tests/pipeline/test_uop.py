@@ -1,0 +1,76 @@
+"""Unit tests for the MicroOp record."""
+
+import pytest
+
+from repro.isa.instructions import Instruction, Opcode
+from repro.pipeline.uop import NO_FORWARD, UNTAINTED, MicroOp, UopState
+
+
+def make(op=Opcode.ADD, **kwargs):
+    defaults = dict(rd=1, rs1=2, rs2=3)
+    if op in (Opcode.LOAD,):
+        defaults = dict(rd=1, rs1=2)
+    if op in (Opcode.STORE,):
+        defaults = dict(rs2=1, rs1=2)
+    if op in (Opcode.NOP, Opcode.HALT):
+        defaults = {}
+    defaults.update(kwargs)
+    return MicroOp(7, 3, Instruction(op, **defaults), cycle=11)
+
+
+class TestLifecyclePredicates:
+    def test_initial_state(self):
+        uop = make()
+        assert uop.state == UopState.DISPATCHED
+        assert uop.in_flight
+        assert not uop.completed
+        assert not uop.committed
+        assert not uop.squashed
+
+    def test_completed_states(self):
+        uop = make()
+        uop.state = UopState.COMPLETED
+        assert uop.completed and uop.in_flight
+        uop.state = UopState.COMMITTED
+        assert uop.completed and uop.committed and not uop.in_flight
+
+    def test_squashed_not_completed(self):
+        uop = make()
+        uop.state = UopState.SQUASHED
+        assert uop.squashed
+        assert not uop.completed
+
+    def test_defaults(self):
+        uop = make(Opcode.LOAD)
+        assert uop.taint == UNTAINTED
+        assert uop.forward_source_seq == NO_FORWARD
+        assert uop.result is None
+        assert not uop.dl_issued and not uop.vp_active
+        assert uop.dispatch_cycle == 11
+
+
+class TestClassification:
+    def test_kind_passthrough(self):
+        assert make(Opcode.LOAD).is_load
+        assert make(Opcode.STORE).is_store
+        assert make(Opcode.BEQ, rd=None, rs1=1, rs2=2, imm=0).is_branch
+
+    def test_word_address(self):
+        uop = make(Opcode.LOAD)
+        uop.address = 0x1007
+        assert uop.word_address == 0x1000
+
+
+class TestDoppelgangerPredicates:
+    def test_has_doppelganger(self):
+        uop = make(Opcode.LOAD)
+        assert not uop.has_doppelganger
+        uop.dl_predicted_address = 0x2000
+        assert uop.has_doppelganger
+        uop.dl_cancelled = True
+        assert not uop.has_doppelganger
+
+    def test_slots_prevent_typos(self):
+        uop = make()
+        with pytest.raises(AttributeError):
+            uop.dl_predicted_adress = 1  # intentional typo must fail

@@ -1,0 +1,70 @@
+"""Tests for the gshare branch predictor."""
+
+from repro.common.config import BranchPredictorConfig
+from repro.predictors.branch import GShareBranchPredictor
+
+
+def predictor(history_bits=8, entries=256) -> GShareBranchPredictor:
+    return GShareBranchPredictor(
+        BranchPredictorConfig(history_bits=history_bits, table_entries=entries)
+    )
+
+
+class TestPrediction:
+    def test_initial_prediction_not_taken(self):
+        assert predictor().predict(0x40) is False
+
+    def test_learns_always_taken(self):
+        p = predictor(history_bits=0)  # degenerate bimodal: deterministic
+        for _ in range(4):
+            history = p.snapshot_history()
+            taken = p.predict(0x40)
+            p.restore_history(history, True)
+            p.train(0x40, True, history)
+        assert p.predict(0x40) is True
+
+    def test_learns_alternating_with_history(self):
+        """gshare separates T/NT contexts of the same PC via history."""
+        p = predictor()
+        outcomes = [True, False] * 40
+        correct_tail = 0
+        for i, actual in enumerate(outcomes):
+            history = p.snapshot_history()
+            predicted = p.predict(0x40)
+            if predicted != actual:
+                p.restore_history(history, actual)
+            p.train(0x40, actual, history)
+            if i >= len(outcomes) - 10:
+                correct_tail += predicted == actual
+        assert correct_tail >= 9  # converged on the pattern
+
+    def test_history_speculatively_updated(self):
+        p = predictor()
+        p.history = 0b1
+        p.predict(0x40)
+        assert p.history in (0b10, 0b11)  # shifted, outcome bit appended
+
+    def test_restore_appends_actual_outcome(self):
+        p = predictor(history_bits=4)
+        snapshot = 0b0101
+        p.restore_history(snapshot, True)
+        assert p.history == 0b1011
+
+    def test_counters_saturate(self):
+        p = predictor()
+        history = 0
+        for _ in range(10):
+            p.train(0x40, True, history)
+        p.train(0x40, False, history)
+        # One not-taken after saturation must not flip the prediction.
+        p.history = history
+        assert p.predict(0x40) is True
+
+    def test_accuracy_metric(self):
+        p = predictor()
+        assert p.accuracy == 0.0
+        p.predict(0x40)
+        p.record_mispredict()
+        assert p.accuracy == 0.0
+        p.predict(0x40)
+        assert p.accuracy == 0.5

@@ -1,0 +1,118 @@
+"""Tests for the shared stride table (prefetcher + address predictor)."""
+
+import pytest
+
+from repro.common.config import PredictorConfig
+from repro.predictors.stride import StrideTable
+
+
+def table(entries=32, ways=4, threshold=2, degree=2, distance=4) -> StrideTable:
+    return StrideTable(
+        PredictorConfig(
+            entries=entries,
+            ways=ways,
+            confidence_threshold=threshold,
+            prefetch_degree=degree,
+            prefetch_distance=distance,
+        )
+    )
+
+
+def train_sequence(t: StrideTable, pc: int, start: int, stride: int, count: int):
+    for i in range(count):
+        t.train_commit(pc, start + i * stride)
+
+
+class TestTraining:
+    def test_unknown_pc_predicts_nothing(self):
+        assert table().predict_current(0x40) is None
+
+    def test_confidence_gates_prediction(self):
+        t = table(threshold=2)
+        t.train_commit(0x40, 100)
+        t.train_commit(0x40, 108)   # stride 8 observed once, conf 0->?
+        assert t.predict_current(0x40) is None
+        t.train_commit(0x40, 116)   # stride repeats
+        t.train_commit(0x40, 124)
+        assert t.predict_current(0x40) == 132
+
+    def test_stride_change_decays_then_replaces(self):
+        t = table(threshold=2)
+        train_sequence(t, 0x40, 100, 8, 6)
+        assert t.predict_current(0x40) == 100 + 6 * 8
+        # Break the stride: confidence decays, no replacement yet.
+        t.train_commit(0x40, 1000)
+        entry = t.entry_for(0x40)
+        assert entry.last_address == 1000
+        # Keep breaking until the stride is replaced and retrained.
+        train_sequence(t, 0x40, 2000, 16, 8)
+        assert t.predict_current(0x40) == 2000 + 8 * 16
+
+    def test_zero_stride_predicts_same_address(self):
+        t = table()
+        train_sequence(t, 0x40, 500, 0, 4)
+        assert t.predict_current(0x40) == 500
+
+    def test_negative_stride(self):
+        t = table()
+        train_sequence(t, 0x40, 1000, -8, 5)
+        assert t.predict_current(0x40) == 1000 + 5 * (-8) & ((1 << 64) - 1)
+
+
+class TestFullPCTags:
+    def test_no_aliasing_between_pcs_in_same_set(self):
+        """Full PC tags (paper §5.1): distinct PCs never share an entry."""
+        t = table(entries=8, ways=4)
+        pc_a = 0x10
+        pc_b = pc_a + 8 * t.num_sets  # same set index, different PC
+        train_sequence(t, pc_a, 0, 8, 4)
+        train_sequence(t, pc_b, 10_000, 16, 4)
+        assert t.predict_current(pc_a) == 4 * 8
+        assert t.predict_current(pc_b) == 10_000 + 4 * 16
+
+    def test_lru_eviction_within_set(self):
+        t = table(entries=4, ways=2)
+        set_count = t.num_sets
+        pcs = [0x10 + k * set_count for k in range(3)]  # 3 PCs, 2 ways
+        train_sequence(t, pcs[0], 0, 8, 3)
+        train_sequence(t, pcs[1], 0, 8, 3)
+        train_sequence(t, pcs[2], 0, 8, 3)  # evicts pcs[0] (LRU)
+        assert t.entry_for(pcs[0]) is None
+        assert t.entry_for(pcs[1]) is not None
+        assert t.entry_for(pcs[2]) is not None
+
+
+class TestPrefetchMode:
+    def test_candidates_follow_distance_and_degree(self):
+        t = table(degree=2, distance=4)
+        train_sequence(t, 0x40, 0, 64, 5)
+        candidates = t.prefetch_candidates(0x40, 320)
+        assert candidates == [320 + 4 * 64, 320 + 5 * 64]
+
+    def test_no_candidates_below_confidence(self):
+        t = table()
+        t.train_commit(0x40, 0)
+        assert t.prefetch_candidates(0x40, 0) == []
+
+    def test_zero_stride_never_prefetches(self):
+        t = table()
+        train_sequence(t, 0x40, 500, 0, 6)
+        assert t.prefetch_candidates(0x40, 500) == []
+
+    def test_zero_degree_disables_prefetch(self):
+        t = table(degree=0)
+        train_sequence(t, 0x40, 0, 64, 5)
+        assert t.prefetch_candidates(0x40, 320) == []
+
+
+class TestIntrospection:
+    def test_occupancy(self):
+        t = table()
+        train_sequence(t, 0x40, 0, 8, 2)
+        train_sequence(t, 0x48, 0, 8, 2)
+        assert t.occupancy() == 2
+
+    def test_training_counter(self):
+        t = table()
+        train_sequence(t, 0x40, 0, 8, 5)
+        assert t.trainings == 5

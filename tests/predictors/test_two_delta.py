@@ -1,0 +1,101 @@
+"""Tests for the two-delta stride table extension."""
+
+import pytest
+
+from repro.common.config import PredictorConfig
+from repro.common.errors import ConfigError
+from repro.predictors.stride import (
+    StrideTable,
+    TwoDeltaStrideTable,
+    make_stride_table,
+)
+
+
+def table(kind="two_delta", threshold=2) -> StrideTable:
+    return make_stride_table(
+        PredictorConfig(entries=32, ways=4, kind=kind,
+                        confidence_threshold=threshold)
+    )
+
+
+def train(t, pc, addresses):
+    for address in addresses:
+        t.train_commit(pc, address)
+
+
+class TestFactory:
+    def test_kinds(self):
+        assert type(make_stride_table(PredictorConfig())) is StrideTable
+        assert isinstance(table("two_delta"), TwoDeltaStrideTable)
+
+    def test_unknown_kind_rejected_by_config(self):
+        with pytest.raises(ConfigError, match="unknown predictor kind"):
+            PredictorConfig(kind="markov")
+
+
+class TestTwoDeltaBehaviour:
+    def test_learns_plain_stride(self):
+        t = table()
+        train(t, 0x40, [0, 8, 16, 24, 32])
+        assert t.predict_current(0x40) == 40
+
+    def test_single_break_does_not_derail(self):
+        """The defining property: one irregular access leaves the
+        predicting stride intact, so the stream resumes immediately."""
+        t = table()
+        train(t, 0x40, [0, 8, 16, 24, 32])
+        t.train_commit(0x40, 5000)        # isolated break
+        t.train_commit(0x40, 5008)        # stream resumes at stride 8
+        entry = t.entry_for(0x40)
+        assert entry.stride == 8          # never chased the break
+
+    def test_plain_stride_table_decays_on_breaks(self):
+        """Contrast: the baseline predictor pays confidence on every
+        break; two-delta retains more."""
+        pattern = []
+        base = 0
+        for chunk in range(8):            # stride runs broken every 4
+            for i in range(4):
+                pattern.append(base + 8 * i)
+            base += 10_000
+        naive = table("stride")
+        robust = table("two_delta")
+        train(naive, 0x40, pattern)
+        train(robust, 0x40, pattern)
+        naive_conf = naive.entry_for(0x40).confidence
+        robust_conf = robust.entry_for(0x40).confidence
+        assert robust_conf >= naive_conf
+
+    def test_repeated_new_delta_adopted(self):
+        t = table()
+        train(t, 0x40, [0, 8, 16, 24])    # stride 8 established
+        train(t, 0x40, [88, 152, 216])    # stride 64, repeated
+        assert t.entry_for(0x40).stride == 64
+
+    def test_commit_only_training_still_holds(self):
+        from repro.pipeline.core import Core
+        from repro.schemes import make_scheme
+        from repro.common.config import SystemConfig
+        from tests.doppelganger.test_engine import strided_loop
+
+        cfg = SystemConfig(predictor=PredictorConfig(kind="two_delta"))
+        core = Core(strided_loop(n=150), make_scheme("dom+ap"), config=cfg)
+        stats = core.run()
+        assert isinstance(core.stride, TwoDeltaStrideTable)
+        assert core.stride.trainings == stats.committed_loads
+        assert stats.coverage > 0.8
+
+
+class TestEndToEnd:
+    def test_two_delta_never_hurts_broken_stride_accuracy(self):
+        """On the xalancbmk-style breaking-stride pattern, two-delta
+        accuracy must be at least the plain table's."""
+        from repro.common.config import SystemConfig
+        from repro.harness.runner import run_benchmark
+
+        plain = run_benchmark("xalancbmk", "dom+ap", warmup=1500, measure=5000)
+        cfg = SystemConfig(predictor=PredictorConfig(kind="two_delta"))
+        robust = run_benchmark(
+            "xalancbmk", "dom+ap", config=cfg, warmup=1500, measure=5000
+        )
+        assert robust.stats.accuracy >= plain.stats.accuracy - 0.02

@@ -1,0 +1,145 @@
+"""Behavioural tests for the DoM+VP extension (the paper's foil)."""
+
+import pytest
+
+from repro.isa.builder import CodeBuilder
+from repro.pipeline.core import Core
+from repro.schemes import make_scheme
+
+from tests.conftest import counting_loop
+
+
+def value_strided_misses(n=60, base=0x90000, value_stride=0):
+    """Loads whose VALUES stride predictably but always miss in the L1
+    (distinct lines) and sit under a slow load-dependent branch, so DoM
+    delays them — exactly the case VP was proposed for."""
+    b = CodeBuilder()
+    for i in range(n + 4):
+        b.set_memory(base + 4096 * i, 100 + value_stride * i)
+    b.li(1, n)
+    b.li(2, 0)
+    b.li(3, 0)
+    b.li(10, base)
+    b.label("loop")
+    b.muli(4, 2, 4096)
+    b.add(5, 10, 4)
+    b.load(6, 5)                  # L1 miss every time (fresh line)
+    b.add(3, 3, 6)
+    b.andi(7, 6, 1)               # value-dependent branch keeps shadows
+    b.beq(7, 7, "even")           # always taken, resolution needs r7
+    b.label("even")
+    b.addi(2, 2, 1)
+    b.blt(2, 1, "loop")
+    b.store(3, 0, disp=8)
+    b.halt()
+    return b.build(name="value_strided")
+
+
+def random_valued_misses(n=60, base=0x90000, seed=9):
+    import random
+
+    rng = random.Random(seed)
+    b = CodeBuilder()
+    for i in range(n + 4):
+        b.set_memory(base + 4096 * i, rng.randrange(1 << 30))
+    b.li(1, n)
+    b.li(2, 0)
+    b.li(3, 0)
+    b.li(10, base)
+    b.label("loop")
+    b.muli(4, 2, 4096)
+    b.add(5, 10, 4)
+    b.load(6, 5)
+    b.add(3, 3, 6)
+    b.addi(2, 2, 1)
+    b.blt(2, 1, "loop")
+    b.store(3, 0, disp=8)
+    b.halt()
+    return b.build(name="value_random")
+
+
+class TestCorrectness:
+    def test_matches_interpreter_with_predictable_values(self):
+        program = value_strided_misses()
+        reference = program.interpret().state.read_mem(8)
+        core = Core(program, make_scheme("dom+vp"))
+        core.run()
+        assert core.arch.read_mem(8) == reference
+
+    def test_matches_interpreter_with_random_values(self):
+        program = random_valued_misses()
+        reference = program.interpret().state.read_mem(8)
+        core = Core(program, make_scheme("dom+vp"))
+        core.run()
+        assert core.arch.read_mem(8) == reference
+
+    def test_random_program_equivalence(self):
+        from tests.pipeline.test_core_correctness import (
+            assert_equivalent,
+            random_program,
+        )
+
+        for seed in (11, 12):
+            assert_equivalent(random_program(seed, body_length=25, iterations=6),
+                              "dom+vp")
+
+    def test_counting_loop_unaffected(self):
+        core = Core(counting_loop(80), make_scheme("dom+vp"))
+        core.run()
+        assert core.arch.read_mem(8) == sum(range(80))
+
+
+class TestValueSpeculation:
+    def test_constant_values_predicted_correctly(self):
+        """Stride-0 (constant) values are immune to in-flight staleness:
+        every validated prediction is correct."""
+        core = Core(value_strided_misses(value_stride=0), make_scheme("dom+vp"))
+        stats = core.run()
+        assert stats.vp_predictions > 10
+        assert stats.vp_correct > 10
+        assert stats.vp_wrong == 0
+
+    def test_striding_values_suffer_inflight_staleness(self):
+        """With several instances of the load in flight, a commit-trained
+        value predictor hands stale predictions to the younger ones —
+        the structural reason the DoM paper's VP 'did not yield
+        significant improvement' [41]."""
+        core = Core(value_strided_misses(value_stride=5), make_scheme("dom+vp"))
+        stats = core.run()
+        assert stats.vp_predictions > 10
+        assert stats.vp_wrong > stats.vp_correct
+
+    def test_mispredicted_values_squash(self):
+        core = Core(random_valued_misses(), make_scheme("dom+vp"))
+        stats = core.run()
+        # Random values: whatever was predicted was mostly wrong, and
+        # every wrong prediction forced a squash — VP's structural cost.
+        assert stats.vp_wrong == stats.vp_squashes
+        assert stats.vp_correct <= stats.vp_predictions
+
+    def test_correct_prediction_beats_plain_dom(self):
+        program = value_strided_misses(n=120, value_stride=0)
+        vp = Core(program, make_scheme("dom+vp"))
+        vp_stats = vp.run()
+        dom = Core(program, make_scheme("dom"))
+        dom_stats = dom.run()
+        assert vp_stats.cycles <= dom_stats.cycles
+
+    def test_vp_never_used_without_the_scheme(self):
+        core = Core(value_strided_misses(), make_scheme("dom"))
+        stats = core.run()
+        assert core.value_pred is None
+        assert stats.vp_predictions == 0
+
+
+class TestPaperComparison:
+    def test_address_prediction_beats_value_prediction_on_random_values(self):
+        """§8: 'addresses are easier to predict than values' — the
+        addresses here stride perfectly while the values are random, so
+        DoM+AP must beat DoM+VP."""
+        program = random_valued_misses(n=100)
+        vp = Core(program, make_scheme("dom+vp"))
+        vp_stats = vp.run()
+        ap = Core(random_valued_misses(n=100), make_scheme("dom+ap"))
+        ap_stats = ap.run()
+        assert ap_stats.cycles < vp_stats.cycles

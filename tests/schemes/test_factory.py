@@ -1,0 +1,67 @@
+"""Tests for scheme construction and the registry."""
+
+import pytest
+
+from repro.schemes import (
+    SCHEME_CLASSES,
+    SCHEME_NAMES,
+    DelayOnMiss,
+    NDAPermissive,
+    STT,
+    UnsafeBaseline,
+    make_scheme,
+)
+
+
+class TestFactory:
+    def test_all_names_constructible(self):
+        for name in SCHEME_NAMES:
+            scheme = make_scheme(name)
+            assert scheme.name == name
+            assert not scheme.address_prediction
+
+    def test_ap_suffix(self):
+        scheme = make_scheme("dom+ap")
+        assert isinstance(scheme, DelayOnMiss)
+        assert scheme.address_prediction
+
+    def test_explicit_flag(self):
+        scheme = make_scheme("nda", address_prediction=True)
+        assert isinstance(scheme, NDAPermissive)
+        assert scheme.address_prediction
+
+    def test_case_and_whitespace_insensitive(self):
+        assert isinstance(make_scheme("  STT  "), STT)
+        assert make_scheme("DOM+AP").address_prediction
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(ValueError, match="unknown scheme"):
+            make_scheme("sdo")
+
+    def test_describe(self):
+        assert make_scheme("unsafe").describe() == "unsafe"
+        assert make_scheme("stt+ap").describe() == "stt+AP"
+
+
+class TestSchemeMetadata:
+    def test_only_stt_uses_taint(self):
+        assert make_scheme("stt").uses_taint
+        for name in ("unsafe", "nda", "dom"):
+            assert not make_scheme(name).uses_taint
+
+    def test_only_dom_releases_dl_misses_at_nonspec(self):
+        assert make_scheme("dom").dl_miss_release_at_nonspec
+        for name in ("unsafe", "nda", "stt"):
+            assert not make_scheme(name).dl_miss_release_at_nonspec
+
+    def test_registry_is_complete(self):
+        assert set(SCHEME_CLASSES) == {"unsafe", "nda", "stt", "dom", "dom+vp"}
+        assert SCHEME_CLASSES["unsafe"] is UnsafeBaseline
+
+    def test_dom_vp_flags(self):
+        scheme = make_scheme("dom+vp")
+        assert scheme.uses_value_prediction
+        assert not scheme.address_prediction
+        # Forcing AP on DoM+VP is ignored: the scheme exists for a clean
+        # VP-vs-AP comparison.
+        assert not make_scheme("dom+vp", address_prediction=True).address_prediction

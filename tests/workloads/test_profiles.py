@@ -1,0 +1,67 @@
+"""Tests for the SPEC stand-in profile registry."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.workloads.profiles import (
+    ALL_PROFILES,
+    PROFILES_BY_NAME,
+    SPEC2006_PROFILES,
+    SPEC2017_PROFILES,
+    benchmark_names,
+    build_workload,
+    get_profile,
+)
+
+
+class TestRegistry:
+    def test_suites_are_disjoint_and_complete(self):
+        names_2006 = set(benchmark_names("spec2006"))
+        names_2017 = set(benchmark_names("spec2017"))
+        assert not names_2006 & names_2017
+        assert names_2006 | names_2017 == set(benchmark_names("all"))
+
+    def test_paper_benchmarks_present(self):
+        """Every benchmark the paper's evaluation text names must exist."""
+        for name in (
+            "bzip2", "gcc", "mcf", "hmmer", "sjeng", "libquantum", "astar",
+            "gromacs", "GemsFDTD", "omnetpp_s", "xalancbmk_s",
+            "exchange2_s", "wrf_s",
+        ):
+            assert name in PROFILES_BY_NAME
+
+    def test_suite_sizes(self):
+        assert len(SPEC2006_PROFILES) >= 12
+        assert len(SPEC2017_PROFILES) >= 10
+        assert len(ALL_PROFILES) >= 24
+
+    def test_every_profile_has_expectation(self):
+        for profile in ALL_PROFILES:
+            assert profile.expectation, f"{profile.name} lacks an expectation note"
+
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(ConfigError, match="unknown benchmark"):
+            get_profile("povray")
+        with pytest.raises(ConfigError, match="unknown suite"):
+            benchmark_names("spec2000")
+
+    def test_unique_seeds(self):
+        seeds = [p.params.get("seed") for p in ALL_PROFILES]
+        assert len(seeds) == len(set(seeds)), "profiles must not share seeds"
+
+
+class TestProfilePrograms:
+    @pytest.mark.parametrize("profile", ALL_PROFILES, ids=lambda p: p.name)
+    def test_profile_builds(self, profile):
+        program = profile.build()
+        assert len(program) > 5
+        assert program.name == profile.name
+
+    def test_build_workload_shortcut(self):
+        assert build_workload("mcf").name == "mcf"
+
+    def test_builds_are_deterministic(self):
+        first = build_workload("libquantum")
+        second = build_workload("libquantum")
+        assert first.instructions == second.instructions
+        assert first.initial_memory == second.initial_memory
