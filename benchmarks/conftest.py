@@ -1,8 +1,11 @@
 """Shared infrastructure for the figure-regeneration benchmarks.
 
-All figure benches share one memoizing :class:`ExperimentSession` so the
-(benchmark × scheme) sweep is simulated once and every figure is derived
-from it — the same structure as the paper's evaluation scripts.
+All figure benches share one :class:`ParallelSession`: its sweep runs the
+(benchmark × scheme) grid once — fanned out over ``REPRO_BENCH_JOBS``
+worker processes — and every figure is derived from the memoized results,
+the same structure as the paper's evaluation scripts.  With
+``REPRO_BENCH_CACHE`` set, the sweep also persists to disk, so
+re-running the benches after an unrelated code change simulates nothing.
 
 Environment knobs:
 
@@ -10,6 +13,9 @@ Environment knobs:
   window (defaults 2000 / 8000: minutes, not hours; raise for tighter
   statistics, e.g. 6000 / 30000 for the numbers in EXPERIMENTS.md).
 * ``REPRO_BENCH_SUITE`` — ``all`` (default), ``spec2006``, ``spec2017``.
+* ``REPRO_BENCH_JOBS`` — worker processes for the shared sweep
+  (default: one per CPU; results are identical for any value).
+* ``REPRO_BENCH_CACHE`` — persistent result-cache directory (optional).
 
 Each bench writes its rendered table under ``benchmarks/output/`` so the
 regenerated series can be diffed against EXPERIMENTS.md.
@@ -22,7 +28,8 @@ from pathlib import Path
 
 import pytest
 
-from repro.harness.runner import ExperimentSession
+from repro.harness.parallel import ParallelSession
+from repro.harness.runner import BASELINE_SCHEME, FIGURE_SCHEMES
 from repro.workloads.profiles import benchmark_names
 
 OUTPUT_DIR = Path(__file__).parent / "output"
@@ -30,11 +37,22 @@ OUTPUT_DIR = Path(__file__).parent / "output"
 WARMUP = int(os.environ.get("REPRO_BENCH_WARMUP", "2000"))
 MEASURE = int(os.environ.get("REPRO_BENCH_MEASURE", "8000"))
 SUITE = os.environ.get("REPRO_BENCH_SUITE", "all")
+JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "0")) or None
+CACHE = os.environ.get("REPRO_BENCH_CACHE") or None
 
 
 @pytest.fixture(scope="session")
-def session() -> ExperimentSession:
-    return ExperimentSession(warmup=WARMUP, measure=MEASURE)
+def session(benchmarks) -> ParallelSession:
+    sess = ParallelSession(
+        warmup=WARMUP, measure=MEASURE, jobs=JOBS, cache_dir=CACHE
+    )
+    # One up-front parallel sweep; the figure benches then read memo hits.
+    sess.sweep(
+        benchmarks,
+        (BASELINE_SCHEME, "unsafe+ap") + FIGURE_SCHEMES,
+        skip_errors=True,
+    )
+    return sess
 
 
 @pytest.fixture(scope="session")

@@ -14,13 +14,15 @@ import sys
 import time
 
 from repro.harness import (
-    ExperimentSession,
+    FIGURE_SCHEMES,
+    ParallelSession,
     figure1_summary,
     figure6_normalized_ipc,
     figure7_coverage_accuracy,
     figure8_cache_traffic,
     unsafe_ap_delta,
 )
+from repro.workloads.profiles import benchmark_names
 
 
 def main(argv=None) -> int:
@@ -31,12 +33,29 @@ def main(argv=None) -> int:
     )
     parser.add_argument("--warmup", type=int, default=None)
     parser.add_argument("--measure", type=int, default=None)
+    parser.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker processes for the shared sweep (default: one per CPU)",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None,
+        help="persistent result cache; a second run re-simulates nothing",
+    )
     args = parser.parse_args(argv)
     warmup = args.warmup if args.warmup is not None else (1000 if args.fast else 4000)
     measure = args.measure if args.measure is not None else (4000 if args.fast else 16000)
 
-    session = ExperimentSession(warmup=warmup, measure=measure)
+    session = ParallelSession(
+        warmup=warmup, measure=measure, jobs=args.jobs, cache_dir=args.cache_dir
+    )
     started = time.time()
+
+    # One parallel sweep feeds every figure below (all reads are memo hits).
+    session.sweep(
+        benchmark_names("all"),
+        ("unsafe", "unsafe+ap") + FIGURE_SCHEMES,
+        skip_errors=True,
+    )
 
     print(f"== Figure 6: normalized IPC (warmup={warmup}, measure={measure}) ==")
     print(figure6_normalized_ipc(session).format_table())
@@ -53,9 +72,11 @@ def main(argv=None) -> int:
     print("\n== §7 Unsafe Baseline + AP ==")
     print(unsafe_ap_delta(session).format_table())
 
+    counters = session.counters()
     print(
-        f"\ncompleted {session.cached_runs()} simulations "
-        f"in {time.time() - started:.0f}s"
+        f"\ncompleted {session.cached_runs()} runs in {time.time() - started:.0f}s "
+        f"({counters['simulated']} simulated, {counters['disk_hits']} from disk, "
+        f"{counters['skipped']} skipped)"
     )
     return 0
 

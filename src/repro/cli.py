@@ -4,6 +4,8 @@ Subcommands:
 
 * ``list`` — available benchmarks and schemes.
 * ``run`` — simulate one benchmark under one scheme and print statistics.
+* ``sweep`` — run a (benchmark × scheme) grid over a worker pool, with an
+  optional persistent on-disk result cache (``--jobs`` / ``--cache-dir``).
 * ``figures`` — regenerate the paper's figures (Figure 1/6/7/8 + ablation).
 * ``attack`` — run the Spectre v1 gadget against every configuration.
 * ``trace`` — run with the pipeline tracer and print an instruction
@@ -18,6 +20,10 @@ from typing import List, Optional
 
 from repro.common.errors import ReproError
 from repro.schemes import SCHEME_NAMES, make_scheme
+
+#: Default grid for ``sweep`` (the Figure 6/8 schemes, duplicated here so
+#: parsing ``--help`` doesn't import the simulator).
+FIGURE_SCHEMES_DEFAULT = ("nda", "nda+ap", "stt", "stt+ap", "dom", "dom+ap")
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -39,10 +45,47 @@ def _build_parser() -> argparse.ArgumentParser:
         help="also run the unsafe baseline and print normalized IPC",
     )
 
+    sweep = sub.add_parser(
+        "sweep", help="run a (benchmark × scheme) grid over a worker pool"
+    )
+    sweep.add_argument(
+        "--benchmarks", default="all",
+        help="comma-separated names, or a suite (all/spec2006/spec2017)",
+    )
+    sweep.add_argument(
+        "--schemes", default="unsafe," + ",".join(FIGURE_SCHEMES_DEFAULT),
+        help="comma-separated scheme names",
+    )
+    sweep.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker processes (default: one per CPU; 1 = run inline)",
+    )
+    sweep.add_argument(
+        "--cache-dir", default=None,
+        help="persistent result cache directory (reruns become cache hits)",
+    )
+    sweep.add_argument("--warmup", type=int, default=4000)
+    sweep.add_argument("--measure", type=int, default=16000)
+    sweep.add_argument(
+        "--csv", default=None, help="also write raw counters as CSV here"
+    )
+    sweep.add_argument(
+        "--skip-errors", action="store_true",
+        help="report pairs with empty measurement windows instead of aborting",
+    )
+
     figures = sub.add_parser("figures", help="regenerate the paper's figures")
     figures.add_argument("--fast", action="store_true")
     figures.add_argument("--warmup", type=int, default=None)
     figures.add_argument("--measure", type=int, default=None)
+    figures.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker processes for the shared sweep (default: one per CPU)",
+    )
+    figures.add_argument(
+        "--cache-dir", default=None,
+        help="persistent result cache directory shared across invocations",
+    )
 
     attack = sub.add_parser("attack", help="run Spectre v1 against every scheme")
     attack.add_argument("--secret", type=int, default=7)
@@ -80,6 +123,50 @@ def _cmd_run(args: argparse.Namespace) -> int:
             args.benchmark, "unsafe", warmup=args.warmup, measure=args.measure
         )
         print(f"normalized IPC vs unsafe: {result.ipc / base.ipc:.3f}")
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.harness.parallel import ParallelSession
+    from repro.workloads.profiles import PROFILES_BY_NAME, benchmark_names
+
+    if args.benchmarks in ("all", "spec2006", "spec2017"):
+        benchmarks = benchmark_names(args.benchmarks)
+    else:
+        benchmarks = tuple(name.strip() for name in args.benchmarks.split(","))
+        for name in benchmarks:
+            if name not in PROFILES_BY_NAME:
+                print(f"error: unknown benchmark {name!r}", file=sys.stderr)
+                return 1
+    schemes = tuple(name.strip() for name in args.schemes.split(","))
+
+    session = ParallelSession(
+        warmup=args.warmup,
+        measure=args.measure,
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+    )
+    results = session.sweep(benchmarks, schemes, skip_errors=args.skip_errors)
+    print(f"{'benchmark':<14}{'scheme':<11}{'IPC':>8}{'instructions':>14}{'cycles':>10}")
+    for result in results:
+        print(
+            f"{result.benchmark:<14}{result.scheme:<11}{result.ipc:>8.3f}"
+            f"{result.stats.committed_instructions:>14}{result.stats.cycles:>10}"
+        )
+    for skip in session.skipped:
+        print(f"skipped ({skip.benchmark}, {skip.scheme}): {skip.message}")
+    counters = session.counters()
+    print(
+        f"\n{len(results)} results with {args.jobs or 'auto'} jobs: "
+        f"{counters['simulated']} simulated, {counters['disk_hits']} from disk "
+        f"cache, {counters['memo_hits']} memoized, {counters['skipped']} skipped"
+    )
+    if args.csv:
+        from repro.harness.export import sweep_to_csv
+
+        with open(args.csv, "w") as handle:
+            handle.write(sweep_to_csv(results))
+        print(f"raw counters written to {args.csv}")
     return 0
 
 
@@ -121,6 +208,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_list()
         if args.command == "run":
             return _cmd_run(args)
+        if args.command == "sweep":
+            return _cmd_sweep(args)
         if args.command == "figures":
             # Reuse the full-evaluation example so there is exactly one
             # implementation of the report.
@@ -145,6 +234,10 @@ def main(argv: Optional[List[str]] = None) -> int:
                 forwarded.extend(["--warmup", str(args.warmup)])
             if args.measure is not None:
                 forwarded.extend(["--measure", str(args.measure)])
+            if args.jobs is not None:
+                forwarded.extend(["--jobs", str(args.jobs)])
+            if args.cache_dir is not None:
+                forwarded.extend(["--cache-dir", str(args.cache_dir)])
             return module.main(forwarded)
         if args.command == "attack":
             return _cmd_attack(args)

@@ -8,15 +8,20 @@ from repro.common.config import (
     MemoryConfig,
     PredictorConfig,
     SystemConfig,
+    config_fingerprint,
+    config_from_dict,
+    config_to_dict,
     default_config,
     small_config,
 )
 from repro.common.errors import (
     AssemblyError,
     ConfigError,
+    EmptyMeasurementError,
     ExecutionError,
     ReproError,
     SimulationLimitError,
+    StatisticsError,
     StructuralHazardError,
 )
 from repro.common.stats import RunResult, SimStats, geomean, normalized
@@ -28,6 +33,7 @@ __all__ = [
     "CacheConfig",
     "ConfigError",
     "CoreConfig",
+    "EmptyMeasurementError",
     "ExecutionError",
     "MemoryConfig",
     "PredictorConfig",
@@ -35,8 +41,12 @@ __all__ = [
     "RunResult",
     "SimStats",
     "SimulationLimitError",
+    "StatisticsError",
     "StructuralHazardError",
     "SystemConfig",
+    "config_fingerprint",
+    "config_from_dict",
+    "config_to_dict",
     "default_config",
     "geomean",
     "normalized",

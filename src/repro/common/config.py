@@ -22,8 +22,10 @@ single frozen ``SystemConfig`` fully describes an experiment.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Any
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field, replace
+from typing import Any, Dict, Mapping
 
 from repro.common.errors import ConfigError
 
@@ -248,6 +250,48 @@ class SystemConfig:
         e.g. ``cfg.with_overrides(core=replace(cfg.core, rob_entries=64))``.
         """
         return replace(self, **overrides)
+
+    def fingerprint(self) -> str:
+        """A stable hex digest of every knob in this configuration.
+
+        Two configs fingerprint equal iff every field (including nested
+        sub-configs) is equal, so the digest is a safe cache key: any
+        change to any knob — and nothing else — invalidates cached runs.
+        """
+        return config_fingerprint(self)
+
+
+def config_to_dict(config: SystemConfig) -> Dict[str, Any]:
+    """Flatten a :class:`SystemConfig` to plain JSON-able data."""
+    return asdict(config)
+
+
+def config_from_dict(data: Mapping[str, Any]) -> SystemConfig:
+    """Rebuild a :class:`SystemConfig` from :func:`config_to_dict` output.
+
+    The round trip is exact (``config_from_dict(config_to_dict(c)) == c``),
+    which worker processes and the on-disk result cache rely on.
+    """
+    memory = data["memory"]
+    return SystemConfig(
+        core=CoreConfig(**data["core"]),
+        memory=MemoryConfig(
+            l1=CacheConfig(**memory["l1"]),
+            l2=CacheConfig(**memory["l2"]),
+            l3=CacheConfig(**memory["l3"]),
+            dram_latency=memory["dram_latency"],
+        ),
+        branch=BranchPredictorConfig(**data["branch"]),
+        predictor=PredictorConfig(**data["predictor"]),
+        prefetch_enabled=data["prefetch_enabled"],
+        max_cycles=data["max_cycles"],
+    )
+
+
+def config_fingerprint(config: SystemConfig) -> str:
+    """SHA-256 over the canonical (sorted-key JSON) form of ``config``."""
+    canonical = json.dumps(config_to_dict(config), sort_keys=True)
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
 
 def default_config() -> SystemConfig:

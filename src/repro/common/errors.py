@@ -39,3 +39,31 @@ class SimulationLimitError(ReproError):
 
 class StructuralHazardError(ReproError):
     """An internal structure (ROB, LQ, SQ, IQ) was used inconsistently."""
+
+
+class StatisticsError(ReproError, ValueError):
+    """An aggregate metric was asked of unusable inputs (empty sequence,
+    non-positive geomean operand, zero baseline).
+
+    Subclasses :class:`ValueError` so long-standing callers that guard
+    with ``except ValueError`` keep working.
+    """
+
+
+class EmptyMeasurementError(ReproError):
+    """A run produced no usable measurement window.
+
+    Raised when a benchmark commits nothing inside its measurement window
+    — typically because the program halted during warmup ("program
+    shorter than warmup window") — or when a baseline with zero IPC would
+    poison every normalization.  Carries the offending pair so sweeps can
+    skip-and-report instead of dying.
+    """
+
+    def __init__(self, message: str, benchmark: str | None = None,
+                 scheme: str | None = None):
+        self.benchmark = benchmark
+        self.scheme = scheme
+        if benchmark is not None or scheme is not None:
+            message = f"({benchmark}, {scheme}): {message}"
+        super().__init__(message)

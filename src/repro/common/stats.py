@@ -9,7 +9,9 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field, fields
-from typing import Dict, Iterable, Mapping
+from typing import Any, Dict, Iterable, Mapping
+
+from repro.common.errors import StatisticsError
 
 
 @dataclass
@@ -107,6 +109,17 @@ class SimStats:
     def as_dict(self) -> Dict[str, int]:
         return {f.name: getattr(self, f.name) for f in fields(self)}
 
+    @classmethod
+    def from_dict(cls, data: Mapping[str, int]) -> "SimStats":
+        """Rebuild a :class:`SimStats` from :meth:`as_dict` output.
+
+        Unknown keys are ignored (forward compatibility: a cache written
+        by a newer build with extra counters still loads); missing keys
+        keep their zero defaults.
+        """
+        known = {f.name for f in fields(cls)}
+        return cls(**{k: v for k, v in data.items() if k in known})
+
     def summary(self) -> str:
         """A short human-readable digest used by examples and the CLI."""
         lines = [
@@ -134,16 +147,16 @@ def geomean(values: Iterable[float]) -> float:
     """
     vals = list(values)
     if not vals:
-        raise ValueError("geomean of an empty sequence")
+        raise StatisticsError("geomean of an empty sequence")
     if any(v <= 0 for v in vals):
-        raise ValueError("geomean requires strictly positive values")
+        raise StatisticsError("geomean requires strictly positive values")
     return math.exp(sum(math.log(v) for v in vals) / len(vals))
 
 
 def normalized(value: float, baseline: float) -> float:
     """``value / baseline``, the normalization used by every figure."""
     if baseline == 0:
-        raise ValueError("cannot normalize against a zero baseline")
+        raise StatisticsError("cannot normalize against a zero baseline")
     return value / baseline
 
 
@@ -159,3 +172,22 @@ class RunResult:
     @property
     def ipc(self) -> float:
         return self.stats.ipc
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A plain-data form that survives JSON and pickling boundaries
+        (worker processes, the on-disk result cache)."""
+        return {
+            "benchmark": self.benchmark,
+            "scheme": self.scheme,
+            "stats": self.stats.as_dict(),
+            "metadata": dict(self.metadata),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "RunResult":
+        return cls(
+            benchmark=data["benchmark"],
+            scheme=data["scheme"],
+            stats=SimStats.from_dict(data["stats"]),
+            metadata=dict(data.get("metadata", {})),
+        )

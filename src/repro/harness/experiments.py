@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.common.errors import EmptyMeasurementError
 from repro.common.stats import geomean
 from repro.harness.runner import BASELINE_SCHEME, FIGURE_SCHEMES, ExperimentSession
 from repro.workloads.profiles import benchmark_names
@@ -35,6 +36,11 @@ def _benchmarks(benchmarks: Optional[Sequence[str]]) -> Tuple[str, ...]:
     return tuple(benchmarks)
 
 
+def _format_skipped(skipped: Dict[str, str]) -> List[str]:
+    """Footer lines naming benchmarks a figure dropped (and why)."""
+    return [f"skipped {name}: {reason}" for name, reason in skipped.items()]
+
+
 # ----------------------------------------------------------------------
 # Figure 6: normalized IPC per benchmark
 # ----------------------------------------------------------------------
@@ -45,6 +51,7 @@ class Figure6Result:
     schemes: Tuple[str, ...]
     rows: Dict[str, Dict[str, float]]  # benchmark -> scheme -> norm. IPC
     gmean: Dict[str, float]
+    skipped: Dict[str, str] = field(default_factory=dict)
 
     def format_table(self) -> str:
         header = f"{'benchmark':<14}" + "".join(f"{s:>10}" for s in self.schemes)
@@ -58,6 +65,7 @@ class Figure6Result:
         lines.append(
             f"{'GMEAN':<14}" + "".join(f"{self.gmean[s]:>10.3f}" for s in self.schemes)
         )
+        lines.extend(_format_skipped(self.skipped))
         return "\n".join(lines)
 
 
@@ -66,17 +74,31 @@ def figure6_normalized_ipc(
     benchmarks: Optional[Sequence[str]] = None,
     schemes: Sequence[str] = FIGURE_SCHEMES,
 ) -> Figure6Result:
-    """Regenerate Figure 6: normalized IPC of NDA-P/STT/DoM ± AP."""
+    """Regenerate Figure 6: normalized IPC of NDA-P/STT/DoM ± AP.
+
+    A benchmark whose run raises
+    :class:`~repro.common.errors.EmptyMeasurementError` (program shorter
+    than the warmup window, zero-IPC baseline) is dropped from the rows
+    and reported in ``result.skipped`` instead of aborting the sweep.
+    """
     names = _benchmarks(benchmarks)
     rows: Dict[str, Dict[str, float]] = {}
+    skipped: Dict[str, str] = {}
     for benchmark in names:
-        rows[benchmark] = {
-            scheme: session.normalized_ipc(benchmark, scheme) for scheme in schemes
-        }
+        try:
+            rows[benchmark] = {
+                scheme: session.normalized_ipc(benchmark, scheme)
+                for scheme in schemes
+            }
+        except EmptyMeasurementError as error:
+            skipped[benchmark] = str(error)
     gmean = {
-        scheme: geomean(rows[b][scheme] for b in names) for scheme in schemes
+        scheme: geomean(rows[b][scheme] for b in rows) if rows else 0.0
+        for scheme in schemes
     }
-    return Figure6Result(schemes=tuple(schemes), rows=rows, gmean=gmean)
+    return Figure6Result(
+        schemes=tuple(schemes), rows=rows, gmean=gmean, skipped=skipped
+    )
 
 
 # ----------------------------------------------------------------------
@@ -145,6 +167,7 @@ class Figure7Result:
     accuracy: Dict[str, float]
     gmean_coverage: float
     gmean_accuracy: float
+    skipped: Dict[str, str] = field(default_factory=dict)
 
     def format_table(self) -> str:
         header = f"{'benchmark':<14}{'coverage':>10}{'accuracy':>10}"
@@ -158,6 +181,7 @@ class Figure7Result:
         lines.append(
             f"{'GMEAN':<14}{self.gmean_coverage:>9.1%}{self.gmean_accuracy:>9.1%}"
         )
+        lines.extend(_format_skipped(self.skipped))
         return "\n".join(lines)
 
 
@@ -171,8 +195,13 @@ def figure7_coverage_accuracy(
     names = _benchmarks(benchmarks)
     coverage: Dict[str, float] = {}
     accuracy: Dict[str, float] = {}
+    skipped: Dict[str, str] = {}
     for benchmark in names:
-        stats = session.run(benchmark, scheme).stats
+        try:
+            stats = session.run(benchmark, scheme).stats
+        except EmptyMeasurementError as error:
+            skipped[benchmark] = str(error)
+            continue
         coverage[benchmark] = stats.coverage
         accuracy[benchmark] = stats.accuracy
     # Geomean over nonzero entries only (a zero would zero the product;
@@ -185,6 +214,7 @@ def figure7_coverage_accuracy(
         accuracy=accuracy,
         gmean_coverage=geomean(nonzero_cov) if nonzero_cov else 0.0,
         gmean_accuracy=geomean(nonzero_acc) if nonzero_acc else 0.0,
+        skipped=skipped,
     )
 
 
@@ -198,6 +228,7 @@ class Figure8Result:
     schemes: Tuple[str, ...]
     l1: Dict[str, Dict[str, float]]
     l2: Dict[str, Dict[str, float]]
+    skipped: Dict[str, str] = field(default_factory=dict)
 
     def _format_one(self, title: str, table: Dict[str, Dict[str, float]]) -> List[str]:
         header = f"{title:<14}" + "".join(f"{s:>10}" for s in self.schemes)
@@ -212,6 +243,7 @@ class Figure8Result:
         lines = self._format_one("L1 accesses", self.l1)
         lines.append("")
         lines.extend(self._format_one("L2 accesses", self.l2))
+        lines.extend(_format_skipped(self.skipped))
         return "\n".join(lines)
 
 
@@ -224,19 +256,24 @@ def figure8_cache_traffic(
     names = _benchmarks(benchmarks)
     l1: Dict[str, Dict[str, float]] = {}
     l2: Dict[str, Dict[str, float]] = {}
+    skipped: Dict[str, str] = {}
     for benchmark in names:
-        base = session.run(benchmark, BASELINE_SCHEME).stats
+        try:
+            base = session.run(benchmark, BASELINE_SCHEME).stats
+            rows = {scheme: session.run(benchmark, scheme).stats for scheme in schemes}
+        except EmptyMeasurementError as error:
+            skipped[benchmark] = str(error)
+            continue
         l1[benchmark] = {}
         l2[benchmark] = {}
-        for scheme in schemes:
-            stats = session.run(benchmark, scheme).stats
+        for scheme, stats in rows.items():
             l1[benchmark][scheme] = (
                 stats.l1_accesses / base.l1_accesses if base.l1_accesses else 0.0
             )
             l2[benchmark][scheme] = (
                 stats.l2_accesses / base.l2_accesses if base.l2_accesses else 0.0
             )
-    return Figure8Result(schemes=tuple(schemes), l1=l1, l2=l2)
+    return Figure8Result(schemes=tuple(schemes), l1=l1, l2=l2, skipped=skipped)
 
 
 # ----------------------------------------------------------------------
@@ -248,6 +285,7 @@ class UnsafeAPResult:
 
     per_benchmark: Dict[str, float]
     gmean_gain: float
+    skipped: Dict[str, str] = field(default_factory=dict)
 
     def format_table(self) -> str:
         lines = [f"{'benchmark':<14}{'unsafe+ap / unsafe':>20}"]
@@ -256,6 +294,7 @@ class UnsafeAPResult:
             lines.append(f"{benchmark:<14}{value:>20.3f}")
         lines.append("-" * 34)
         lines.append(f"{'GMEAN gain':<14}{self.gmean_gain:>19.1%}")
+        lines.extend(_format_skipped(self.skipped))
         return "\n".join(lines)
 
 
@@ -265,10 +304,15 @@ def unsafe_ap_delta(
 ) -> UnsafeAPResult:
     """Regenerate the §7 claim that AP gains only ~0.5% on the baseline."""
     names = _benchmarks(benchmarks)
-    per_benchmark = {
-        name: session.normalized_ipc(name, "unsafe+ap") for name in names
-    }
+    per_benchmark: Dict[str, float] = {}
+    skipped: Dict[str, str] = {}
+    for name in names:
+        try:
+            per_benchmark[name] = session.normalized_ipc(name, "unsafe+ap")
+        except EmptyMeasurementError as error:
+            skipped[name] = str(error)
     return UnsafeAPResult(
         per_benchmark=per_benchmark,
-        gmean_gain=geomean(per_benchmark.values()) - 1.0,
+        gmean_gain=(geomean(per_benchmark.values()) - 1.0) if per_benchmark else 0.0,
+        skipped=skipped,
     )

@@ -14,8 +14,10 @@ from __future__ import annotations
 
 import csv
 import io
+import json
 from typing import Dict, Mapping, Optional, Sequence
 
+from repro.common.stats import RunResult
 from repro.harness.experiments import (
     Figure6Result,
     Figure7Result,
@@ -23,6 +25,41 @@ from repro.harness.experiments import (
     SummaryResult,
 )
 from repro.harness.runner import ExperimentSession
+
+
+# ----------------------------------------------------------------------
+# RunResult serialization (worker processes, the on-disk cache, tooling)
+# ----------------------------------------------------------------------
+def run_result_to_json(result: RunResult) -> str:
+    """Serialize one run to a canonical (sorted-key) JSON document."""
+    return json.dumps(result.to_dict(), sort_keys=True)
+
+
+def run_result_from_json(text: str) -> RunResult:
+    """Inverse of :func:`run_result_to_json`; exact round trip."""
+    return RunResult.from_dict(json.loads(text))
+
+
+def sweep_to_csv(results: Sequence[RunResult]) -> str:
+    """A sweep as CSV: labels, windows, then every raw counter."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    if not results:
+        return ""
+    counter_names = sorted(results[0].stats.as_dict())
+    writer.writerow(["benchmark", "scheme", "warmup", "measure", *counter_names])
+    for result in results:
+        stats = result.stats.as_dict()
+        writer.writerow(
+            [
+                result.benchmark,
+                result.scheme,
+                result.metadata.get("warmup", ""),
+                result.metadata.get("measure", ""),
+                *(stats[name] for name in counter_names),
+            ]
+        )
+    return buffer.getvalue()
 
 
 # ----------------------------------------------------------------------

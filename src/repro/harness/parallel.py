@@ -1,0 +1,345 @@
+"""A parallel, persistent experiment runner.
+
+The paper's evaluation is a (benchmark × scheme) matrix — Figures 1, 6,
+7, and 8 all re-sweep the same seven configurations over every SPEC
+stand-in.  :class:`ParallelSession` is a drop-in replacement for
+:class:`~repro.harness.runner.ExperimentSession` that makes that matrix
+cheap twice over:
+
+* **Parallel** — :meth:`ParallelSession.sweep` fans the pairs out over a
+  :mod:`multiprocessing` pool.  Each worker receives a picklable
+  :class:`SweepJob` (labels, window sizes, and the config as plain data),
+  rebuilds the :class:`~repro.pipeline.core.Core` from scratch, and ships
+  the measurement-window :class:`~repro.common.stats.SimStats` back as a
+  dict.  Every pair is simulated in its own interpreter with no shared
+  state, so results are bit-identical between ``jobs=1`` and ``jobs=N``:
+  the simulator is deterministic and stats are never accumulated across
+  processes — the parent reassembles results strictly in request order.
+
+* **Persistent** — with ``cache_dir`` set, every finished run is written
+  to disk keyed by a stable fingerprint of (benchmark, scheme, warmup,
+  measure, full :class:`~repro.common.config.SystemConfig`).  Re-running
+  any figure after an unrelated code change is a cache hit; changing any
+  config knob or window size misses by construction.  Cache files are
+  self-describing JSON, written atomically (tmp + rename) so concurrent
+  writers can share a directory.
+
+Failure semantics: a worker that hits a
+:class:`~repro.common.errors.ReproError` returns the error as data; the
+parent re-raises it (typed, naming the pair) from :meth:`run`, or —
+with ``skip_errors=True`` — records it in :attr:`skipped` and keeps the
+rest of the sweep.  Failures are memoized like results so a halting
+benchmark is not re-simulated once per figure.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.common.config import (
+    SystemConfig,
+    config_from_dict,
+    config_to_dict,
+    default_config,
+)
+from repro.common.errors import EmptyMeasurementError, ReproError
+from repro.common.stats import RunResult
+from repro.harness.runner import (
+    BASELINE_SCHEME,
+    DEFAULT_MEASURE,
+    DEFAULT_WARMUP,
+    RunKey,
+    run_benchmark,
+    run_key,
+)
+
+#: Bump when the cache file layout or the meaning of a counter changes;
+#: part of every disk key, so stale formats miss instead of mis-loading.
+CACHE_FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class SweepJob:
+    """One (benchmark, scheme) run as a picklable, process-portable spec."""
+
+    benchmark: str
+    scheme: str
+    warmup: int
+    measure: int
+    config: Dict[str, Any]  # config_to_dict() form
+
+    @classmethod
+    def build(
+        cls,
+        benchmark: str,
+        scheme: str,
+        warmup: int,
+        measure: int,
+        config: SystemConfig,
+    ) -> "SweepJob":
+        return cls(benchmark, scheme, warmup, measure, config_to_dict(config))
+
+
+def execute_job(job: SweepJob) -> Dict[str, Any]:
+    """Worker entry point: rebuild the Core, run, return plain data.
+
+    Must stay a module-level function (pickled by name into the pool) and
+    must never raise: errors travel back as data so one bad pair cannot
+    poison the pool or lose the rest of a sweep.
+    """
+    try:
+        result = run_benchmark(
+            job.benchmark,
+            job.scheme,
+            config_from_dict(job.config),
+            job.warmup,
+            job.measure,
+        )
+        return {"ok": True, "result": result.to_dict()}
+    except ReproError as error:
+        return {
+            "ok": False,
+            "error_type": type(error).__name__,
+            "message": str(error),
+            "benchmark": job.benchmark,
+            "scheme": job.scheme,
+        }
+
+
+def _raise_job_error(payload: Dict[str, Any]) -> None:
+    if payload["error_type"] == "EmptyMeasurementError":
+        # The worker's message already carries the "(benchmark, scheme):"
+        # prefix, so rebuild without re-prefixing and reattach the labels.
+        error = EmptyMeasurementError(payload["message"])
+        error.benchmark = payload["benchmark"]
+        error.scheme = payload["scheme"]
+        raise error
+    raise ReproError(
+        f"({payload['benchmark']}, {payload['scheme']}): {payload['message']}"
+    )
+
+
+@dataclass
+class SkippedRun:
+    """A pair that a skip-errors sweep dropped, and why."""
+
+    benchmark: str
+    scheme: str
+    message: str
+
+
+class ParallelSession:
+    """Parallel, disk-backed drop-in for ``ExperimentSession``.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes for :meth:`sweep`.  ``None`` means one per CPU;
+        ``1`` runs everything inline (no pool, still disk-cached).
+    cache_dir:
+        Directory for the persistent result cache; ``None`` disables it.
+    """
+
+    def __init__(
+        self,
+        config: Optional[SystemConfig] = None,
+        warmup: int = DEFAULT_WARMUP,
+        measure: int = DEFAULT_MEASURE,
+        jobs: Optional[int] = None,
+        cache_dir: Optional[os.PathLike] = None,
+    ):
+        self.config = config if config is not None else default_config()
+        self.warmup = warmup
+        self.measure = measure
+        self.jobs = max(1, jobs if jobs is not None else os.cpu_count() or 1)
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        self._memo: Dict[RunKey, RunResult] = {}
+        self._failures: Dict[RunKey, Dict[str, Any]] = {}
+        self.skipped: List[SkippedRun] = []
+        # Provenance counters: where did each requested run come from?
+        self.memo_hits = 0
+        self.disk_hits = 0
+        self.simulated = 0
+
+    # ------------------------------------------------------------------
+    # Keys and the on-disk cache
+    # ------------------------------------------------------------------
+    def _key(self, benchmark: str, scheme: str) -> RunKey:
+        return run_key(benchmark, scheme, self.warmup, self.measure, self.config)
+
+    def _cache_path(self, key: RunKey) -> Optional[Path]:
+        if self.cache_dir is None:
+            return None
+        benchmark, scheme, warmup, measure, digest = key
+        safe_scheme = scheme.replace("+", "_")
+        name = (
+            f"v{CACHE_FORMAT_VERSION}-{benchmark}-{safe_scheme}"
+            f"-w{warmup}-m{measure}-{digest[:16]}.json"
+        )
+        return self.cache_dir / name
+
+    def _disk_load(self, key: RunKey) -> Optional[RunResult]:
+        path = self._cache_path(key)
+        if path is None or not path.exists():
+            return None
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return None  # treat a torn/corrupt file as a miss
+        if payload.get("key") != list(key):
+            return None  # digest-prefix collision or stale format
+        return RunResult.from_dict(payload["result"])
+
+    def _disk_store(self, key: RunKey, result: RunResult) -> None:
+        path = self._cache_path(key)
+        if path is None:
+            return
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "version": CACHE_FORMAT_VERSION,
+            "key": list(key),
+            "config": config_to_dict(self.config),
+            "result": result.to_dict(),
+        }
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_text(json.dumps(payload, sort_keys=True))
+        tmp.replace(path)  # atomic on POSIX: concurrent writers race safely
+
+    # ------------------------------------------------------------------
+    # Running
+    # ------------------------------------------------------------------
+    def _lookup(self, key: RunKey) -> Optional[RunResult]:
+        """Memo, then disk.  Replays memoized failures."""
+        if key in self._failures:
+            _raise_job_error(self._failures[key])
+        if key in self._memo:
+            self.memo_hits += 1
+            return self._memo[key]
+        from_disk = self._disk_load(key)
+        if from_disk is not None:
+            self.disk_hits += 1
+            self._memo[key] = from_disk
+            return from_disk
+        return None
+
+    def _store(self, key: RunKey, payload: Dict[str, Any]) -> Optional[RunResult]:
+        if not payload["ok"]:
+            self._failures[key] = payload
+            return None
+        result = RunResult.from_dict(payload["result"])
+        self._memo[key] = result
+        self._disk_store(key, result)
+        return result
+
+    def run(self, benchmark: str, scheme: str) -> RunResult:
+        """Run (or recall) one pair.  Always inline — no pool spin-up."""
+        key = self._key(benchmark, scheme)
+        found = self._lookup(key)
+        if found is not None:
+            return found
+        self.simulated += 1
+        payload = execute_job(
+            SweepJob.build(benchmark, scheme, self.warmup, self.measure, self.config)
+        )
+        result = self._store(key, payload)
+        if result is None:
+            _raise_job_error(payload)
+        return result
+
+    def sweep(
+        self,
+        benchmarks: Iterable[str],
+        schemes: Iterable[str],
+        skip_errors: bool = False,
+    ) -> List[RunResult]:
+        """Run the full (benchmark × scheme) grid, fanned out over the pool.
+
+        Results come back in the same order as the serial
+        ``ExperimentSession.sweep`` — ``for b in benchmarks for s in
+        schemes`` — regardless of worker scheduling, minus failed pairs
+        when ``skip_errors`` is set (those are appended to
+        :attr:`skipped`).
+        """
+        pairs: List[Tuple[str, str]] = [
+            (b, s) for b in benchmarks for s in schemes
+        ]
+        keys = [self._key(b, s) for b, s in pairs]
+
+        # Resolve memo/disk hits first; only cold pairs reach the pool.
+        # A pair may appear twice in a grid; dedupe while keeping order.
+        cold: List[Tuple[RunKey, Tuple[str, str]]] = []
+        seen = set()
+        for key, pair in zip(keys, pairs):
+            if key in seen or key in self._failures:
+                continue
+            if key in self._memo:
+                self.memo_hits += 1
+                continue
+            from_disk = self._disk_load(key)
+            if from_disk is not None:
+                self.disk_hits += 1
+                self._memo[key] = from_disk
+                continue
+            seen.add(key)
+            cold.append((key, pair))
+
+        if cold:
+            jobs = [
+                SweepJob.build(b, s, self.warmup, self.measure, self.config)
+                for _, (b, s) in cold
+            ]
+            for (key, _), payload in zip(cold, self._run_jobs(jobs)):
+                self.simulated += 1
+                self._store(key, payload)
+
+        results: List[RunResult] = []
+        for key, (benchmark, scheme) in zip(keys, pairs):
+            if key in self._failures:
+                if not skip_errors:
+                    _raise_job_error(self._failures[key])
+                self.skipped.append(
+                    SkippedRun(benchmark, scheme, self._failures[key]["message"])
+                )
+                continue
+            results.append(self._memo[key])
+        return results
+
+    def _run_jobs(self, jobs: Sequence[SweepJob]) -> List[Dict[str, Any]]:
+        """Execute cold jobs, in order, with up to ``self.jobs`` workers."""
+        if self.jobs == 1 or len(jobs) == 1:
+            return [execute_job(job) for job in jobs]
+        with multiprocessing.get_context().Pool(
+            processes=min(self.jobs, len(jobs))
+        ) as pool:
+            return pool.map(execute_job, jobs)
+
+    # ------------------------------------------------------------------
+    # ExperimentSession-compatible derived metrics / introspection
+    # ------------------------------------------------------------------
+    def normalized_ipc(self, benchmark: str, scheme: str) -> float:
+        """IPC of ``scheme`` normalized to the unsafe baseline."""
+        baseline = self.run(benchmark, BASELINE_SCHEME).ipc
+        if baseline == 0:
+            raise EmptyMeasurementError(
+                "baseline committed nothing in its measurement window",
+                benchmark=benchmark,
+                scheme=BASELINE_SCHEME,
+            )
+        return self.run(benchmark, scheme).ipc / baseline
+
+    def cached_runs(self) -> int:
+        return len(self._memo)
+
+    def counters(self) -> Dict[str, int]:
+        """Provenance summary: how many runs came from where."""
+        return {
+            "memo_hits": self.memo_hits,
+            "disk_hits": self.disk_hits,
+            "simulated": self.simulated,
+            "skipped": len(self.skipped),
+        }

@@ -14,6 +14,7 @@ from dataclasses import dataclass, fields
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.common.config import SystemConfig, default_config
+from repro.common.errors import EmptyMeasurementError
 from repro.common.stats import RunResult, SimStats
 from repro.pipeline.core import Core
 from repro.schemes import make_scheme
@@ -57,6 +58,14 @@ def run_program(
     core.run(max_instructions=warmup + measure)
     core.stats.cycles = core.cycle
     stats = _stats_delta(before, core.stats)
+    if core.halted and measure > 0 and stats.committed_instructions == 0:
+        raise EmptyMeasurementError(
+            f"program shorter than warmup window (halted after "
+            f"{before['committed_instructions']} instructions, "
+            f"warmup={warmup})",
+            benchmark=program.name,
+            scheme=scheme,
+        )
     return RunResult(
         benchmark=program.name,
         scheme=scheme,
@@ -78,6 +87,26 @@ def run_benchmark(
     return run_program(program, scheme, config, warmup, measure)
 
 
+#: The memo key of one run: (benchmark, scheme, warmup, measure,
+#: config fingerprint).  The window sizes and the config digest are part
+#: of the key so mutating ``session.warmup`` / ``session.config`` after a
+#: run can never replay results from the old configuration, and so the
+#: in-memory memo and the on-disk cache (:mod:`repro.harness.parallel`)
+#: agree on what "the same experiment" means.
+RunKey = Tuple[str, str, int, int, str]
+
+
+def run_key(
+    benchmark: str,
+    scheme: str,
+    warmup: int,
+    measure: int,
+    config: SystemConfig,
+) -> RunKey:
+    """The canonical memo key shared by every runner and cache layer."""
+    return (benchmark, scheme, warmup, measure, config.fingerprint())
+
+
 @dataclass
 class ExperimentSession:
     """A memoizing runner shared by all figure-regeneration code."""
@@ -89,10 +118,13 @@ class ExperimentSession:
     def __post_init__(self) -> None:
         if self.config is None:
             self.config = default_config()
-        self._cache: Dict[Tuple[str, str], RunResult] = {}
+        self._cache: Dict[RunKey, RunResult] = {}
+
+    def _key(self, benchmark: str, scheme: str) -> RunKey:
+        return run_key(benchmark, scheme, self.warmup, self.measure, self.config)
 
     def run(self, benchmark: str, scheme: str) -> RunResult:
-        key = (benchmark, scheme)
+        key = self._key(benchmark, scheme)
         if key not in self._cache:
             self._cache[key] = run_benchmark(
                 benchmark, scheme, self.config, self.warmup, self.measure
@@ -108,7 +140,11 @@ class ExperimentSession:
         """IPC of ``scheme`` normalized to the unsafe baseline."""
         baseline = self.run(benchmark, BASELINE_SCHEME).ipc
         if baseline == 0:
-            raise ZeroDivisionError(f"{benchmark}: baseline committed nothing")
+            raise EmptyMeasurementError(
+                "baseline committed nothing in its measurement window",
+                benchmark=benchmark,
+                scheme=BASELINE_SCHEME,
+            )
         return self.run(benchmark, scheme).ipc / baseline
 
     def cached_runs(self) -> int:

@@ -54,3 +54,38 @@ class TestTrace:
     def test_trace_unknown_scheme(self):
         with pytest.raises(SystemExit):
             main(["trace"])  # missing benchmark argument
+
+
+class TestSweep:
+    def test_sweep_prints_grid_and_counters(self, capsys, tmp_path):
+        assert main(["sweep", "--benchmarks", "hmmer,mcf",
+                     "--schemes", "unsafe,dom", "--jobs", "2",
+                     "--cache-dir", str(tmp_path),
+                     "--warmup", "300", "--measure", "800"]) == 0
+        out = capsys.readouterr().out
+        assert "hmmer" in out and "mcf" in out
+        assert "4 simulated" in out
+
+    def test_sweep_warm_cache_resimulates_nothing(self, capsys, tmp_path):
+        args = ["sweep", "--benchmarks", "hmmer", "--schemes", "unsafe,dom",
+                "--jobs", "2", "--cache-dir", str(tmp_path),
+                "--warmup", "300", "--measure", "800"]
+        assert main(args) == 0
+        capsys.readouterr()
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "0 simulated" in out
+        assert "2 from disk cache" in out
+
+    def test_sweep_csv_output(self, capsys, tmp_path):
+        csv_path = tmp_path / "sweep.csv"
+        assert main(["sweep", "--benchmarks", "hmmer", "--schemes", "unsafe",
+                     "--jobs", "1", "--warmup", "300", "--measure", "800",
+                     "--csv", str(csv_path)]) == 0
+        text = csv_path.read_text()
+        assert text.startswith("benchmark,scheme,warmup,measure")
+        assert "hmmer,unsafe" in text
+
+    def test_sweep_unknown_benchmark_is_an_error(self, capsys):
+        assert main(["sweep", "--benchmarks", "doesnotexist"]) == 1
+        assert "unknown benchmark" in capsys.readouterr().err

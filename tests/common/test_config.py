@@ -6,6 +6,8 @@ import pytest
 
 from repro.common.config import (
     BranchPredictorConfig,
+    config_from_dict,
+    config_to_dict,
     CacheConfig,
     CoreConfig,
     MemoryConfig,
@@ -134,3 +136,47 @@ class TestSystemConfig:
     def test_rejects_zero_budget(self):
         with pytest.raises(ConfigError):
             SystemConfig(max_cycles=0)
+
+
+class TestFingerprintAndRoundTrip:
+    def test_fingerprint_is_stable_across_instances(self):
+        assert default_config().fingerprint() == default_config().fingerprint()
+        assert small_config().fingerprint() == small_config().fingerprint()
+
+    def test_fingerprint_is_hex_digest(self):
+        digest = default_config().fingerprint()
+        assert len(digest) == 64
+        int(digest, 16)
+
+    def test_any_knob_changes_the_fingerprint(self):
+        base = default_config()
+        assert (
+            base.with_overrides(max_cycles=base.max_cycles + 1).fingerprint()
+            != base.fingerprint()
+        )
+        assert (
+            base.with_overrides(
+                core=dataclasses.replace(base.core, rob_entries=128)
+            ).fingerprint()
+            != base.fingerprint()
+        )
+        assert (
+            base.with_overrides(
+                predictor=dataclasses.replace(base.predictor, kind="two_delta")
+            ).fingerprint()
+            != base.fingerprint()
+        )
+
+    def test_dict_round_trip_is_exact(self):
+        for cfg in (default_config(), small_config()):
+            assert config_from_dict(config_to_dict(cfg)) == cfg
+
+    def test_round_trip_preserves_fingerprint(self):
+        cfg = small_config()
+        assert config_from_dict(config_to_dict(cfg)).fingerprint() == cfg.fingerprint()
+
+    def test_dict_form_is_json_able(self):
+        import json
+
+        text = json.dumps(config_to_dict(default_config()), sort_keys=True)
+        assert config_from_dict(json.loads(text)) == default_config()

@@ -106,3 +106,65 @@ class TestRunResult:
         )
         assert result.ipc == 2.0
         assert result.metadata == {}
+
+
+class TestRoundTrips:
+    def test_simstats_from_dict_round_trip(self):
+        stats = SimStats(cycles=5, vp_squashes=2, dl_issued=9, l2_accesses=17)
+        assert SimStats.from_dict(stats.as_dict()) == stats
+
+    def test_simstats_from_dict_ignores_unknown_keys(self):
+        data = SimStats(cycles=3).as_dict()
+        data["counter_from_the_future"] = 42
+        assert SimStats.from_dict(data) == SimStats(cycles=3)
+
+    def test_simstats_from_dict_defaults_missing_keys(self):
+        assert SimStats.from_dict({"cycles": 7}) == SimStats(cycles=7)
+
+    def test_run_result_round_trip(self):
+        result = RunResult(
+            benchmark="hmmer",
+            scheme="dom+ap",
+            stats=SimStats(cycles=10, committed_instructions=25),
+            metadata={"warmup": 100, "measure": 400},
+        )
+        clone = RunResult.from_dict(result.to_dict())
+        assert clone == result
+        assert clone.metadata["measure"] == 400
+
+    def test_run_result_to_dict_is_plain_data(self):
+        import json
+
+        result = RunResult(benchmark="x", scheme="dom", stats=SimStats(cycles=1))
+        json.dumps(result.to_dict())  # must not raise
+
+
+class TestTypedErrors:
+    def test_geomean_raises_repro_typed_error(self):
+        from repro.common.errors import ReproError, StatisticsError
+
+        with pytest.raises(StatisticsError):
+            geomean([])
+        with pytest.raises(ReproError):
+            geomean([1.0, 0.0])
+
+    def test_normalized_raises_repro_typed_error(self):
+        from repro.common.errors import StatisticsError
+
+        with pytest.raises(StatisticsError):
+            normalized(1.0, 0.0)
+
+    def test_statistics_error_is_still_a_value_error(self):
+        """Compatibility: long-standing callers guard with ValueError."""
+        from repro.common.errors import StatisticsError
+
+        assert issubclass(StatisticsError, ValueError)
+
+    def test_empty_measurement_error_names_the_pair(self):
+        from repro.common.errors import EmptyMeasurementError, ReproError
+
+        error = EmptyMeasurementError("no commits", benchmark="mcf", scheme="dom")
+        assert error.benchmark == "mcf"
+        assert error.scheme == "dom"
+        assert "(mcf, dom)" in str(error)
+        assert isinstance(error, ReproError)

@@ -131,3 +131,74 @@ class TestUnsafeAP:
 
     def test_renders(self, session):
         assert "GMEAN gain" in unsafe_ap_delta(session, benchmarks=BENCHES).format_table()
+
+
+class _OneBadBenchmark:
+    """A stub session: 'broken' raises the typed error, others delegate."""
+
+    def __init__(self, real):
+        self.real = real
+
+    def run(self, benchmark, scheme):
+        from repro.common.errors import EmptyMeasurementError
+
+        if benchmark == "broken":
+            raise EmptyMeasurementError(
+                "program shorter than warmup window",
+                benchmark=benchmark, scheme=scheme,
+            )
+        return self.real.run(benchmark, scheme)
+
+    def normalized_ipc(self, benchmark, scheme):
+        from repro.common.errors import EmptyMeasurementError
+
+        if benchmark == "broken":
+            raise EmptyMeasurementError(
+                "program shorter than warmup window",
+                benchmark=benchmark, scheme=scheme,
+            )
+        return self.real.normalized_ipc(benchmark, scheme)
+
+
+class TestSkipAndReport:
+    """One benchmark with an empty measurement window must not abort a
+    whole figure sweep (regression: it used to die on ZeroDivisionError
+    or a geomean ValueError)."""
+
+    def test_figure6_skips_and_reports(self, session):
+        result = figure6_normalized_ipc(
+            _OneBadBenchmark(session), benchmarks=("hmmer", "broken", "mcf")
+        )
+        assert set(result.rows) == {"hmmer", "mcf"}
+        assert "broken" in result.skipped
+        assert "shorter than warmup" in result.skipped["broken"]
+        for scheme, value in result.gmean.items():
+            assert value > 0
+        assert "skipped broken" in result.format_table()
+
+    def test_figure7_skips_and_reports(self, session):
+        result = figure7_coverage_accuracy(
+            _OneBadBenchmark(session), benchmarks=("hmmer", "broken")
+        )
+        assert set(result.coverage) == {"hmmer"}
+        assert "broken" in result.skipped
+
+    def test_figure8_skips_and_reports(self, session):
+        result = figure8_cache_traffic(
+            _OneBadBenchmark(session), benchmarks=("hmmer", "broken")
+        )
+        assert set(result.l1) == {"hmmer"}
+        assert "broken" in result.skipped
+
+    def test_unsafe_ap_skips_and_reports(self, session):
+        result = unsafe_ap_delta(
+            _OneBadBenchmark(session), benchmarks=("hmmer", "broken")
+        )
+        assert set(result.per_benchmark) == {"hmmer"}
+        assert "broken" in result.skipped
+
+    def test_figure1_survives_via_figure6(self, session):
+        result = figure1_summary(
+            _OneBadBenchmark(session), benchmarks=("hmmer", "broken", "mcf")
+        )
+        assert set(result.slowdown_reduction) == {"nda", "stt", "dom"}

@@ -86,3 +86,31 @@ class TestBenchmarkReport:
             line for line in text.splitlines() if line.startswith("nda")
         ]
         assert len(payload_rows) == 1
+
+
+class TestRunResultSerialization:
+    def test_json_round_trip(self, session):
+        from repro.harness.export import run_result_from_json, run_result_to_json
+
+        result = session.run("hmmer", "dom+ap")
+        clone = run_result_from_json(run_result_to_json(result))
+        assert clone == result
+        assert clone.stats == result.stats
+
+    def test_sweep_to_csv_has_every_counter(self, session):
+        from repro.harness.export import sweep_to_csv
+
+        results = session.sweep(BENCHES, ("unsafe", "dom"))
+        rows = list(csv.reader(io.StringIO(sweep_to_csv(results))))
+        header, data = rows[0], rows[1:]
+        assert header[:4] == ["benchmark", "scheme", "warmup", "measure"]
+        assert "cycles" in header and "dl_issued" in header
+        assert len(data) == len(results)
+        for row in data:
+            for cell in row[2:]:
+                int(cell)
+
+    def test_sweep_to_csv_empty(self):
+        from repro.harness.export import sweep_to_csv
+
+        assert sweep_to_csv([]) == ""

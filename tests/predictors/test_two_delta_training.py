@@ -1,0 +1,132 @@
+"""Unit tests for ``TwoDeltaStrideTable.train_commit`` state transitions.
+
+``tests/predictors/test_two_delta.py`` covers the table end-to-end; these
+tests pin the training algorithm itself: how the pending stride is
+tracked, when it is adopted, the confidence floor of 1 on adoption, and
+the single-outlier resilience that distinguishes two-delta from the
+classic table.
+"""
+
+from repro.common.config import PredictorConfig
+from repro.predictors.stride import TwoDeltaEntry, TwoDeltaStrideTable, make_stride_table
+
+PC = 0x40
+
+
+def table(threshold=2, max_confidence=7) -> TwoDeltaStrideTable:
+    return make_stride_table(
+        PredictorConfig(
+            entries=32,
+            ways=4,
+            kind="two_delta",
+            confidence_threshold=threshold,
+            max_confidence=max_confidence,
+        )
+    )
+
+
+def train(t, addresses, pc=PC):
+    for address in addresses:
+        t.train_commit(pc, address)
+
+
+class TestPendingStride:
+    def test_entries_carry_pending_state(self):
+        t = table()
+        train(t, [0])
+        entry = t.entry_for(PC)
+        assert isinstance(entry, TwoDeltaEntry)
+        assert entry.pending_stride == 0
+
+    def test_pending_tracks_most_recent_delta(self):
+        t = table()
+        train(t, [0, 8, 16])          # stable stride 8
+        t.train_commit(PC, 116)       # delta 100: pending, not predicting
+        entry = t.entry_for(PC)
+        assert entry.pending_stride == 100
+        assert entry.stride == 8      # predicting stride untouched
+
+    def test_pending_updates_even_on_confirming_delta(self):
+        t = table()
+        train(t, [0, 8, 16, 24])
+        assert t.entry_for(PC).pending_stride == 8
+
+
+class TestAdoption:
+    def test_new_delta_twice_in_a_row_is_adopted(self):
+        t = table()
+        train(t, [0, 8, 16, 24])      # stride 8 established
+        t.train_commit(PC, 88)        # delta 64: first observation
+        assert t.entry_for(PC).stride == 8
+        t.train_commit(PC, 152)       # delta 64 again: adopt
+        assert t.entry_for(PC).stride == 64
+
+    def test_interrupted_repeat_is_not_adopted(self):
+        t = table()
+        train(t, [0, 8, 16, 24])
+        t.train_commit(PC, 88)        # delta 64
+        t.train_commit(PC, 96)        # delta 8 again — 64 never repeated
+        t.train_commit(PC, 160)       # delta 64 (first again)
+        assert t.entry_for(PC).stride == 8
+
+    def test_adoption_floors_confidence_at_one(self):
+        """Adoption from zero confidence must leave confidence at 1, not
+        -1 or 0: the new stride starts with one confirming observation."""
+        t = table()
+        # allocate, then two observations of the same delta: the second
+        # adopts while confidence is still 0.
+        train(t, [0, 8, 16])
+        entry = t.entry_for(PC)
+        assert entry.stride == 8
+        assert entry.confidence == 1
+
+    def test_adoption_from_high_confidence_decrements(self):
+        t = table(max_confidence=7)
+        train(t, [0, 8, 16, 24, 32, 40, 48])   # confidence climbs
+        high = t.entry_for(PC).confidence
+        assert high > 2
+        t.train_commit(PC, 148)       # delta 100 (breaks: confidence -1)
+        t.train_commit(PC, 248)       # delta 100 repeated: adopt
+        entry = t.entry_for(PC)
+        assert entry.stride == 100
+        assert entry.confidence == max(high - 2, 1)
+
+    def test_adopted_stride_predicts_with_threshold_one(self):
+        t = table(threshold=1)
+        train(t, [0, 8, 16])          # adoption sets confidence to 1
+        assert t.predict_current(PC) == 24
+
+
+class TestOutlierResilience:
+    def test_single_outlier_keeps_predicting_stride(self):
+        t = table()
+        train(t, [0, 8, 16, 24, 32])
+        t.train_commit(PC, 5000)      # isolated irregular access
+        assert t.entry_for(PC).stride == 8
+
+    def test_recovery_needs_one_confirming_access(self):
+        t = table(threshold=2)
+        train(t, [0, 8, 16, 24, 32])
+        t.train_commit(PC, 5000)      # outlier: last_address now 5000
+        t.train_commit(PC, 5008)      # stream resumes
+        # Prediction is live again immediately after the resume access.
+        assert t.predict_current(PC) == 5016
+
+    def test_distinct_outliers_derail_classic_but_not_two_delta(self):
+        """The contrast that motivates two-delta: once confidence reaches
+        zero, the classic table *replaces* its stride with the next
+        (arbitrary) delta, while two-delta demands the new delta repeat."""
+        pattern = [0, 8, 16, 1016, 4016]   # two different wild deltas
+        classic = make_stride_table(PredictorConfig(entries=32, ways=4, kind="stride"))
+        robust = table()
+        train(classic, pattern)
+        train(robust, pattern)
+        assert classic.entry_for(PC).stride == 3000   # chased the outlier
+        assert robust.entry_for(PC).stride == 8       # held the stream
+
+    def test_outlier_never_becomes_the_stride_without_repeat(self):
+        t = table()
+        train(t, [0, 8, 16, 24])
+        for jump in (1000, 3000, 6000, 10_000):   # distinct wild deltas
+            t.train_commit(PC, jump)
+        assert t.entry_for(PC).stride == 8
