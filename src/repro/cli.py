@@ -10,6 +10,13 @@ Subcommands:
 * ``attack`` — run the Spectre v1 gadget against every configuration.
 * ``trace`` — run with the pipeline tracer and print an instruction
   timeline (Konata-style, in text).
+* ``doctor`` — run a smoke program under every scheme with guardrails at
+  ``full`` and print pass/fail per invariant class.
+
+``run`` and ``sweep`` accept ``--guardrails {off,cheap,full}`` to arm the
+microarchitectural invariant checker (``--dump-dir`` adds crash dumps);
+``sweep`` adds ``--job-timeout`` / ``--retries`` for fault-tolerant
+pools.
 """
 
 from __future__ import annotations
@@ -44,6 +51,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "--baseline", action="store_true",
         help="also run the unsafe baseline and print normalized IPC",
     )
+    _add_guardrail_args(run)
 
     sweep = sub.add_parser(
         "sweep", help="run a (benchmark × scheme) grid over a worker pool"
@@ -73,6 +81,18 @@ def _build_parser() -> argparse.ArgumentParser:
         "--skip-errors", action="store_true",
         help="report pairs with empty measurement windows instead of aborting",
     )
+    sweep.add_argument(
+        "--job-timeout", type=float, default=None,
+        help="per-job wall-clock budget in seconds (hung workers are "
+             "killed, the job retried, then recorded in the failure "
+             "manifest; default: wait forever)",
+    )
+    sweep.add_argument(
+        "--retries", type=int, default=1,
+        help="retry attempts for transient worker failures "
+             "(timeout/crash; default: 1)",
+    )
+    _add_guardrail_args(sweep)
 
     figures = sub.add_parser("figures", help="regenerate the paper's figures")
     figures.add_argument("--fast", action="store_true")
@@ -95,7 +115,39 @@ def _build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--scheme", default="dom+ap")
     trace.add_argument("--instructions", type=int, default=300)
     trace.add_argument("--window", type=int, default=40)
+
+    doctor = sub.add_parser(
+        "doctor",
+        help="smoke-run every scheme with full guardrails; report per "
+             "invariant class",
+    )
+    doctor.add_argument(
+        "--schemes", default=None,
+        help="comma-separated scheme names (default: every variant)",
+    )
+    doctor.add_argument("--instructions", type=int, default=4000)
     return parser
+
+
+def _add_guardrail_args(command: argparse.ArgumentParser) -> None:
+    command.add_argument(
+        "--guardrails", choices=("off", "cheap", "full"), default="off",
+        help="microarchitectural invariant checker cadence: off (default), "
+             "cheap (every-N cycles), full (every cycle)",
+    )
+    command.add_argument(
+        "--dump-dir", default=None,
+        help="directory for crash dumps on invariant/watchdog failures",
+    )
+
+
+def _guardrail_config(args: argparse.Namespace):
+    """The session config with the requested guardrail level applied."""
+    from repro.common.config import GuardrailConfig, default_config
+
+    return default_config().with_overrides(
+        guardrails=GuardrailConfig(level=args.guardrails, dump_dir=args.dump_dir)
+    )
 
 
 def _cmd_list() -> int:
@@ -113,14 +165,17 @@ def _cmd_list() -> int:
 def _cmd_run(args: argparse.Namespace) -> int:
     from repro.harness.runner import run_benchmark
 
+    config = _guardrail_config(args)
     result = run_benchmark(
-        args.benchmark, args.scheme, warmup=args.warmup, measure=args.measure
+        args.benchmark, args.scheme, config,
+        warmup=args.warmup, measure=args.measure,
     )
     print(f"{args.benchmark} under {args.scheme}:")
     print(result.stats.summary())
     if args.baseline and args.scheme != "unsafe":
         base = run_benchmark(
-            args.benchmark, "unsafe", warmup=args.warmup, measure=args.measure
+            args.benchmark, "unsafe", config,
+            warmup=args.warmup, measure=args.measure,
         )
         print(f"normalized IPC vs unsafe: {result.ipc / base.ipc:.3f}")
     return 0
@@ -141,10 +196,13 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     schemes = tuple(name.strip() for name in args.schemes.split(","))
 
     session = ParallelSession(
+        config=_guardrail_config(args),
         warmup=args.warmup,
         measure=args.measure,
         jobs=args.jobs,
         cache_dir=args.cache_dir,
+        job_timeout=args.job_timeout,
+        retries=args.retries,
     )
     results = session.sweep(benchmarks, schemes, skip_errors=args.skip_errors)
     print(f"{'benchmark':<14}{'scheme':<11}{'IPC':>8}{'instructions':>14}{'cycles':>10}")
@@ -154,7 +212,11 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             f"{result.stats.committed_instructions:>14}{result.stats.cycles:>10}"
         )
     for skip in session.skipped:
-        print(f"skipped ({skip.benchmark}, {skip.scheme}): {skip.message}")
+        print(f"skipped ({skip.benchmark}, {skip.scheme}): "
+              f"{skip.error_type}: {skip.message}")
+    manifest = session.failure_manifest_path
+    if session.skipped and manifest is not None and manifest.exists():
+        print(f"failure manifest: {manifest}")
     counters = session.counters()
     print(
         f"\n{len(results)} results with {args.jobs or 'auto'} jobs: "
@@ -201,6 +263,18 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_doctor(args: argparse.Namespace) -> int:
+    from repro.guardrails import DOCTOR_SCHEMES, run_doctor
+
+    if args.schemes is None:
+        schemes = DOCTOR_SCHEMES
+    else:
+        schemes = tuple(name.strip() for name in args.schemes.split(","))
+    report = run_doctor(schemes=schemes, instructions=args.instructions)
+    print(report.render())
+    return 0 if report.ok else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     try:
@@ -243,6 +317,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_attack(args)
         if args.command == "trace":
             return _cmd_trace(args)
+        if args.command == "doctor":
+            return _cmd_doctor(args)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1

@@ -228,6 +228,53 @@ class PredictorConfig:
         return self.entries // self.ways
 
 
+GUARDRAIL_LEVELS = ("off", "cheap", "full")
+"""Invariant-checker cadences: disabled / every ``check_interval`` cycles /
+every cycle."""
+
+
+@dataclass(frozen=True)
+class GuardrailConfig:
+    """Microarchitectural guardrails: invariant checker + watchdog.
+
+    Guardrails are pure observers — they never change what the simulator
+    computes, only whether a corrupted machine state or a wedged pipeline
+    fails loudly (typed error + crash dump) instead of silently skewing
+    IPC.  Because results are identical at every level, this sub-config is
+    deliberately *excluded* from :func:`config_fingerprint`, so cached
+    results are shared between ``--guardrails off`` and ``full`` runs.
+    """
+
+    level: str = "off"
+    """Invariant-check cadence: "off", "cheap" (every ``check_interval``
+    cycles), or "full" (every cycle)."""
+    check_interval: int = 1024
+    """Cycles between invariant sweeps at level "cheap"."""
+    watchdog_window: int = 200_000
+    """Cycles without a commit before the watchdog classifies the core as
+    deadlocked/livelocked.  Must dwarf the worst-case memory latency so a
+    long-latency miss is never mistaken for a wedge (asserted at core
+    construction against the memory config)."""
+    dump_dir: str | None = None
+    """Directory for crash dumps (watchdog + invariant failures); ``None``
+    attaches the dump text to the raised error only."""
+
+    def __post_init__(self) -> None:
+        _require(
+            self.level in GUARDRAIL_LEVELS,
+            f"guardrails level must be one of {GUARDRAIL_LEVELS}, got {self.level!r}",
+        )
+        _require(self.check_interval >= 1, "check_interval must be >= 1")
+        _require(self.watchdog_window >= 1, "watchdog_window must be >= 1")
+
+    @property
+    def effective_interval(self) -> int:
+        """Cycles between invariant sweeps; 0 means checking is off."""
+        if self.level == "off":
+            return 0
+        return 1 if self.level == "full" else self.check_interval
+
+
 @dataclass(frozen=True)
 class SystemConfig:
     """A complete, immutable description of one simulated system."""
@@ -239,6 +286,7 @@ class SystemConfig:
     prefetch_enabled: bool = True
     max_cycles: int = 50_000_000
     """Hard simulation budget; exceeding it raises SimulationLimitError."""
+    guardrails: GuardrailConfig = field(default_factory=GuardrailConfig)
 
     def __post_init__(self) -> None:
         _require(self.max_cycles >= 1, "max_cycles must be >= 1")
@@ -285,12 +333,22 @@ def config_from_dict(data: Mapping[str, Any]) -> SystemConfig:
         predictor=PredictorConfig(**data["predictor"]),
         prefetch_enabled=data["prefetch_enabled"],
         max_cycles=data["max_cycles"],
+        # Absent in payloads written before guardrails existed.
+        guardrails=GuardrailConfig(**data.get("guardrails", {})),
     )
 
 
 def config_fingerprint(config: SystemConfig) -> str:
-    """SHA-256 over the canonical (sorted-key JSON) form of ``config``."""
-    canonical = json.dumps(config_to_dict(config), sort_keys=True)
+    """SHA-256 over the canonical (sorted-key JSON) form of ``config``.
+
+    The ``guardrails`` sub-config is excluded: guardrails are pure
+    observers (invariant checks and the watchdog never change simulated
+    behaviour), so runs at every ``--guardrails`` level — and with any
+    dump directory — share cache entries.
+    """
+    payload = config_to_dict(config)
+    payload.pop("guardrails", None)
+    canonical = json.dumps(payload, sort_keys=True)
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
 

@@ -41,6 +41,61 @@ class StructuralHazardError(ReproError):
     """An internal structure (ROB, LQ, SQ, IQ) was used inconsistently."""
 
 
+class InvariantViolationError(StructuralHazardError):
+    """A microarchitectural invariant check failed (guardrails).
+
+    Carries the invariant class that fired, the individual violation
+    messages, and a structured machine-state snapshot taken at the moment
+    of the failure so the broken state can be diagnosed without a rerun.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        invariant: str = "unknown",
+        violations: "list[str] | None" = None,
+        snapshot: "dict | None" = None,
+        dump_path: "str | None" = None,
+    ):
+        self.invariant = invariant
+        self.violations = violations if violations is not None else [message]
+        self.snapshot = snapshot if snapshot is not None else {}
+        self.dump_path = dump_path
+        super().__init__(message)
+
+
+class DeadlockError(SimulationLimitError):
+    """The watchdog declared the pipeline wedged.
+
+    ``kind`` distinguishes a *deadlock* (no commit and nothing in flight
+    that could make progress) from a *livelock* (issue/replay activity
+    that never retires).  Carries the machine-state snapshot and, when a
+    dump directory is configured, the path of the written crash dump.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        kind: str = "deadlock",
+        snapshot: "dict | None" = None,
+        dump_path: "str | None" = None,
+        dump: "str | None" = None,
+    ):
+        self.kind = kind
+        self.snapshot = snapshot if snapshot is not None else {}
+        self.dump_path = dump_path
+        self.dump = dump
+        super().__init__(message)
+
+
+class JobTimeoutError(ReproError):
+    """A sweep worker exceeded its per-job wall-clock budget."""
+
+
+class WorkerCrashError(ReproError):
+    """A sweep worker process died (crash/kill) before returning a result."""
+
+
 class StatisticsError(ReproError, ValueError):
     """An aggregate metric was asked of unusable inputs (empty sequence,
     non-positive geomean operand, zero baseline).

@@ -185,6 +185,60 @@ class DoppelgangerEngine:
             self.stats.dl_squashed += 1
 
     # ------------------------------------------------------------------
+    # Guardrails / diagnostics
+    # ------------------------------------------------------------------
+    def outstanding_instances(self) -> int:
+        """Total in-flight predicted instances across every load PC.
+
+        Invariant (checked by the guardrails): this equals the number of
+        ROB-resident loads carrying a prediction — :meth:`on_dispatch`
+        increments per prediction, :meth:`on_commit`/:meth:`on_squash`
+        decrement exactly once per predicted instance leaving the window.
+        An imbalance means an instance leaked (its PC would receive
+        ever-aging predictions) or was double-retired.
+        """
+        return sum(self._outstanding.values())
+
+    def pending_candidates(self) -> int:
+        """Predicted loads still queued for a spare port (lazy-cleaned)."""
+        return len(self._candidates)
+
+    def validate(self, rob) -> list:
+        """Verify-or-replay accounting sweep; returns violation strings."""
+        problems = []
+        predicted_in_rob = 0
+        for uop in rob:
+            if not uop.is_load or uop.dl_predicted_address is None:
+                continue
+            predicted_in_rob += 1
+            if uop.dl_used and not uop.dl_correct:
+                problems.append(
+                    f"load seq={uop.seq} pc={uop.pc} consumed its preload "
+                    f"without a verified-correct prediction"
+                )
+            if (
+                uop.completed
+                and uop.dl_verified
+                and not uop.dl_correct
+                and not uop.dl_cancelled
+                and not uop.executed
+                and not uop.vp_active
+            ):
+                problems.append(
+                    f"load seq={uop.seq} pc={uop.pc} completed after a "
+                    f"mispredicted doppelganger without replaying the real "
+                    f"access (dropped replay)"
+                )
+        tracked = self.outstanding_instances()
+        if tracked != predicted_in_rob:
+            problems.append(
+                f"doppelganger instance accounting imbalance: engine tracks "
+                f"{tracked} in-flight predicted instances, ROB holds "
+                f"{predicted_in_rob}"
+            )
+        return problems
+
+    # ------------------------------------------------------------------
     # Invalidations (memory consistency, §4.5)
     # ------------------------------------------------------------------
     def on_invalidation(self, load: MicroOp, line: int) -> bool:

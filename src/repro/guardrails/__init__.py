@@ -1,0 +1,40 @@
+"""Guardrails: invariant checker, watchdog, and crash-dump diagnostics.
+
+The simulator's failure mode of record is *silently wrong numbers* — a
+leaked rename entry or a wedged ROB shows up only as a skewed IPC figure.
+This package makes those failures loud, local, and diagnosable:
+
+* :class:`InvariantChecker` — machine-state invariants swept at a
+  configurable cadence (``GuardrailConfig.level``), raising a typed
+  :class:`~repro.common.errors.InvariantViolationError` with a snapshot.
+* :class:`Watchdog` — commit-starvation/livelock detection with crash
+  dumps, raising :class:`~repro.common.errors.DeadlockError`.
+* :func:`run_doctor` — the ``repro doctor`` smoke check: every scheme,
+  every invariant class, full cadence.
+* :func:`machine_snapshot` / :func:`format_crash_dump` /
+  :func:`write_crash_dump` — the shared diagnostics plumbing.
+"""
+
+from repro.guardrails.doctor import DOCTOR_SCHEMES, DoctorReport, run_doctor, smoke_program
+from repro.guardrails.dump import (
+    describe_uop,
+    format_crash_dump,
+    machine_snapshot,
+    write_crash_dump,
+)
+from repro.guardrails.invariants import INVARIANT_CLASSES, InvariantChecker
+from repro.guardrails.watchdog import Watchdog
+
+__all__ = [
+    "DOCTOR_SCHEMES",
+    "DoctorReport",
+    "INVARIANT_CLASSES",
+    "InvariantChecker",
+    "Watchdog",
+    "describe_uop",
+    "format_crash_dump",
+    "machine_snapshot",
+    "run_doctor",
+    "smoke_program",
+    "write_crash_dump",
+]

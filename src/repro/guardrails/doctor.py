@@ -1,0 +1,175 @@
+"""``repro doctor`` — a guardrails self-check.
+
+Runs a small smoke program that exercises every mechanism the invariant
+classes guard (dependent loads, store-to-load forwarding, data-dependent
+branches, streaming misses) under **every scheme** with guardrails at
+``full`` (invariant sweep every cycle), then prints pass/fail per
+invariant class.  A clean doctor run means the simulator's machine-state
+contracts held on every single cycle of every scheme — the cheapest
+possible confidence check after touching the pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.common.config import GuardrailConfig, SystemConfig, small_config
+from repro.common.errors import DeadlockError, InvariantViolationError, ReproError
+from repro.guardrails.invariants import INVARIANT_CLASSES, InvariantChecker
+from repro.isa.builder import CodeBuilder
+from repro.isa.program import Program
+
+#: Every scheme variant the evaluation uses, including +AP forms.
+DOCTOR_SCHEMES: Tuple[str, ...] = (
+    "unsafe",
+    "nda",
+    "stt",
+    "dom",
+    "dom+vp",
+    "unsafe+ap",
+    "nda+ap",
+    "stt+ap",
+    "dom+ap",
+)
+
+_DATA_BASE = 0x0001_0000
+_INDEX_BASE = 0x0002_0000
+_STREAM_BASE = 0x0004_0000
+_OUT_BASE = 0x0008_0000
+
+
+def smoke_program(trips: int = 300) -> Program:
+    """A compact kernel touching every guarded mechanism.
+
+    Per iteration: an index load feeding a dependent data load (load
+    chains + address prediction fodder), a data-dependent branch (control
+    shadows + squashes), a store immediately reloaded (forwarding + store
+    shadows), and a 64-byte-stride streaming load (L1 misses, MSHR
+    pressure, DoM delays, prefetcher traffic).
+    """
+    b = CodeBuilder()
+    for i in range(64):
+        # Low bit pseudo-random so the data-dependent branch mispredicts.
+        b.set_memory(_DATA_BASE + 8 * i, (i * 2654435761) & 0xFFFF)
+        b.set_memory(_INDEX_BASE + 8 * i, (i * 17 + 5) % 64)
+    b.li(1, trips)       # trip count
+    b.li(2, 0)           # i
+    b.li(3, 0)           # accumulator
+    b.li(10, _DATA_BASE)
+    b.li(11, _INDEX_BASE)
+    b.li(12, _STREAM_BASE)
+    b.li(13, _OUT_BASE)
+    b.label("loop")
+    b.andi(16, 2, 63)            # i & 63
+    b.shli(16, 16, 3)
+    b.add(16, 11, 16)
+    b.load(17, 16)               # index = index_array[i & 63]
+    b.shli(17, 17, 3)
+    b.add(17, 10, 17)
+    b.load(18, 17)               # value = data[index]  (dependent load)
+    b.add(3, 3, 18)
+    b.andi(19, 2, 15)            # out slot
+    b.shli(19, 19, 3)
+    b.add(19, 13, 19)
+    b.store(3, 19)               # store accumulator ...
+    b.load(20, 19)               # ... and forward it right back
+    b.shli(21, 2, 6)             # i * 64: one new cache line per trip
+    b.andi(21, 21, 0x3FFFF)
+    b.add(21, 12, 21)
+    b.load(22, 21)               # streaming miss
+    b.andi(23, 18, 1)
+    b.beq(23, 0, "even")         # data-dependent branch
+    b.addi(3, 3, 1)
+    b.label("even")
+    b.addi(2, 2, 1)
+    b.blt(2, 1, "loop")
+    b.store(3, 0, disp=8)
+    b.halt()
+    return b.build(name="guardrail_smoke")
+
+
+@dataclass
+class SchemeReport:
+    """Doctor outcome for one scheme: status per invariant class."""
+
+    scheme: str
+    classes: Dict[str, str] = field(default_factory=dict)
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None and all(
+            status in ("ok", "n/a") for status in self.classes.values()
+        )
+
+
+@dataclass
+class DoctorReport:
+    """Aggregated doctor outcome across every scheme."""
+
+    rows: List[SchemeReport]
+    instructions: int
+
+    @property
+    def ok(self) -> bool:
+        return all(row.ok for row in self.rows)
+
+    def render(self) -> str:
+        width = max(len(row.scheme) for row in self.rows) + 2
+        header = "scheme".ljust(width) + "".join(
+            name.ljust(14) for name in INVARIANT_CLASSES
+        )
+        lines = [header, "-" * len(header)]
+        for row in self.rows:
+            cells = "".join(
+                row.classes.get(name, "?").ljust(14) for name in INVARIANT_CLASSES
+            )
+            lines.append(row.scheme.ljust(width) + cells)
+            if row.error is not None:
+                lines.append(f"    {row.error}")
+        verdict = (
+            f"doctor: all invariants held over {self.instructions} "
+            f"instructions x {len(self.rows)} schemes (guardrails=full)"
+            if self.ok
+            else "doctor: FAILURES detected — see rows above"
+        )
+        lines.append("")
+        lines.append(verdict)
+        return "\n".join(lines)
+
+
+def run_doctor(
+    schemes: Tuple[str, ...] = DOCTOR_SCHEMES,
+    instructions: int = 4000,
+    config: Optional[SystemConfig] = None,
+) -> DoctorReport:
+    """Run the smoke program under every scheme with full guardrails."""
+    from repro.pipeline.core import Core
+    from repro.schemes import make_scheme
+
+    base = config if config is not None else small_config()
+    cfg = base.with_overrides(guardrails=GuardrailConfig(level="full"))
+    rows: List[SchemeReport] = []
+    for name in schemes:
+        core = Core(smoke_program(), make_scheme(name), config=cfg)
+        report = SchemeReport(scheme=name, classes={c: "ok" for c in INVARIANT_CLASSES})
+        if core.engine is None:
+            report.classes["doppelganger"] = "n/a"
+        try:
+            core.run(max_instructions=instructions)
+        except InvariantViolationError as error:
+            report.classes[error.invariant] = "FAIL"
+            report.error = str(error)
+        except DeadlockError as error:
+            report.error = f"watchdog: {error}"
+        except ReproError as error:  # pragma: no cover - unexpected
+            report.error = str(error)
+        else:
+            # Belt and braces: one final full audit on the end state.
+            for cls, problems in InvariantChecker(core).audit().items():
+                if problems:
+                    report.classes[cls] = "FAIL"
+                    report.error = problems[0]
+        rows.append(report)
+    return DoctorReport(rows=rows, instructions=instructions)

@@ -1,0 +1,244 @@
+"""Machine-state snapshots and human-readable crash dumps.
+
+When a guardrail fires — an invariant violation or the watchdog declaring
+the pipeline wedged — the single most valuable artifact is the machine
+state *at that instant*: a silently-wrong IPC figure gives you nothing,
+but the ROB head, the shadow frontier, and the MSHR file usually point
+straight at the bug.  :func:`machine_snapshot` captures that state as
+plain data (attached to the raised error and shipped across process
+boundaries by the sweep runner); :func:`format_crash_dump` renders it for
+humans; :func:`write_crash_dump` persists it next to the run so a failure
+manifest can reference it.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Dict, List, Optional
+
+from repro.pipeline.shadows import INFINITE_SEQ
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.pipeline.core import Core
+    from repro.pipeline.uop import MicroOp
+
+DUMP_FORMAT_VERSION = 1
+
+
+def describe_uop(uop: Optional["MicroOp"]) -> Optional[Dict[str, Any]]:
+    """One in-flight instruction as plain data (None-safe)."""
+    if uop is None:
+        return None
+    info: Dict[str, Any] = {
+        "seq": uop.seq,
+        "pc": uop.pc,
+        "disasm": uop.inst.disassemble(),
+        "state": uop.state.name,
+        "dispatch_cycle": uop.dispatch_cycle,
+        "issue_cycle": uop.issue_cycle,
+        "in_iq": uop.in_iq,
+        "taint": uop.taint,
+    }
+    if uop.is_load or uop.is_store:
+        info.update(
+            address=(hex(uop.address) if uop.address_ready else None),
+            address_ready=uop.address_ready,
+            executed=uop.executed,
+            dom_delayed=uop.dom_delayed,
+        )
+    if uop.is_load and uop.dl_predicted_address is not None:
+        info.update(
+            dl_predicted_address=hex(uop.dl_predicted_address),
+            dl_issued=uop.dl_issued,
+            dl_verified=uop.dl_verified,
+            dl_correct=uop.dl_correct,
+            dl_cancelled=uop.dl_cancelled,
+        )
+    if uop.is_branch:
+        info.update(
+            predicted_taken=uop.predicted_taken,
+            branch_resolved=uop.branch_resolved,
+        )
+    return info
+
+
+def machine_snapshot(core: "Core") -> Dict[str, Any]:
+    """Structured, JSON-able snapshot of the core's microarchitectural
+    state — everything a post-mortem needs without replaying the run."""
+    stats = core.stats
+    frontier = core.shadows.frontier()
+    snapshot: Dict[str, Any] = {
+        "version": DUMP_FORMAT_VERSION,
+        "program": core.program.name,
+        "scheme": core.scheme.describe(),
+        "cycle": core.cycle,
+        "committed_instructions": stats.committed_instructions,
+        "last_commit_cycle": core._last_commit_cycle,
+        "commit_idle_cycles": core.cycle - core._last_commit_cycle,
+        "occupancy": {
+            "rob": len(core.rob),
+            "rob_capacity": core.config.core.rob_entries,
+            "iq": core.iq_count,
+            "iq_capacity": core.config.core.iq_entries,
+            "lq": len(core.lq),
+            "lq_capacity": core.config.core.lq_entries,
+            "sq": len(core.sq),
+            "sq_capacity": core.config.core.sq_entries,
+            "ready_heap": len(core._ready),
+            "mem_queue": len(core._mem_queue),
+            "mem_retry": len(core._mem_retry),
+            "frontier_waiters": len(core._frontier_waiters),
+            "timed_events": len(core._events),
+            "prefetch_queue": len(core._prefetch_queue),
+            "rename_entries": len(core.rename),
+        },
+        "fetch": {
+            "pc": core.fetch_pc,
+            "halted": core.fetch_halted,
+            "stalled_until": core.fetch_stalled_until,
+        },
+        "oldest": describe_uop(core.rob[0] if core.rob else None),
+        "youngest": describe_uop(core.rob[-1] if core.rob else None),
+        "shadows": {
+            "frontier": None if frontier == INFINITE_SEQ else frontier,
+            "unresolved_branches": core.shadows.unresolved_branches(),
+            "unresolved_stores": core.shadows.unresolved_stores(),
+            "oldest_branch_casters": core.shadows.live_branch_casters()[:8],
+            "oldest_store_casters": core.shadows.live_store_casters()[:8],
+        },
+        "memory": core.hierarchy.snapshot(core.cycle),
+        "scheme_delays": {
+            "delayed_propagations": stats.delayed_propagations,
+            "delayed_transmitters": stats.delayed_transmitters,
+            "dom_delayed_misses": stats.dom_delayed_misses,
+            "dom_reissued_loads": stats.dom_reissued_loads,
+            "mshr_stalls": stats.mshr_stalls,
+            "squashed_instructions": stats.squashed_instructions,
+            "vp_squashes": stats.vp_squashes,
+        },
+        "next_event_cycle": core._events[0][0] if core._events else None,
+    }
+    if core.engine is not None:
+        snapshot["doppelganger"] = {
+            "outstanding_instances": core.engine.outstanding_instances(),
+            "pending_candidates": core.engine.pending_candidates(),
+            "dl_issued": stats.dl_issued,
+            "dl_correct": stats.dl_correct,
+            "dl_wrong": stats.dl_wrong,
+        }
+    return snapshot
+
+
+def _section(title: str) -> str:
+    return f"\n-- {title} " + "-" * max(1, 60 - len(title)) + "\n"
+
+
+def format_crash_dump(
+    snapshot: Dict[str, Any],
+    reason: str,
+    violations: Optional[List[str]] = None,
+) -> str:
+    """Render a snapshot as the human-readable crash-dump text."""
+    out: List[str] = []
+    out.append("==== repro crash dump " + "=" * 38 + "\n")
+    out.append(f"reason: {reason}\n")
+    out.append(
+        f"program={snapshot['program']} scheme={snapshot['scheme']} "
+        f"cycle={snapshot['cycle']}\n"
+    )
+    out.append(
+        f"committed={snapshot['committed_instructions']} "
+        f"last_commit_cycle={snapshot['last_commit_cycle']} "
+        f"(idle {snapshot['commit_idle_cycles']} cycles)\n"
+    )
+    if violations:
+        out.append(_section("violations"))
+        for violation in violations:
+            out.append(f"  * {violation}\n")
+    occ = snapshot["occupancy"]
+    out.append(_section("pipeline occupancy"))
+    out.append(
+        f"  ROB {occ['rob']}/{occ['rob_capacity']}   "
+        f"IQ {occ['iq']}/{occ['iq_capacity']}   "
+        f"LQ {occ['lq']}/{occ['lq_capacity']}   "
+        f"SQ {occ['sq']}/{occ['sq_capacity']}\n"
+    )
+    out.append(
+        f"  ready={occ['ready_heap']} mem_queue={occ['mem_queue']} "
+        f"mem_retry={occ['mem_retry']} frontier_waiters={occ['frontier_waiters']} "
+        f"timed_events={occ['timed_events']} prefetch={occ['prefetch_queue']}\n"
+    )
+    fetch = snapshot["fetch"]
+    out.append(
+        f"  fetch: pc={fetch['pc']} halted={fetch['halted']} "
+        f"stalled_until={fetch['stalled_until']}  "
+        f"next_event_cycle={snapshot['next_event_cycle']}\n"
+    )
+    out.append(_section("oldest / youngest instruction"))
+    for label in ("oldest", "youngest"):
+        uop = snapshot[label]
+        if uop is None:
+            out.append(f"  {label}: <ROB empty>\n")
+            continue
+        out.append(
+            f"  {label}: seq={uop['seq']} pc={uop['pc']} {uop['disasm']!r} "
+            f"state={uop['state']} dispatched@{uop['dispatch_cycle']} "
+            f"issued@{uop['issue_cycle']}\n"
+        )
+    shadows = snapshot["shadows"]
+    out.append(_section("shadow state"))
+    out.append(
+        f"  frontier={shadows['frontier']} "
+        f"unresolved_branches={shadows['unresolved_branches']} "
+        f"unresolved_stores={shadows['unresolved_stores']}\n"
+    )
+    if shadows["oldest_branch_casters"]:
+        out.append(f"  oldest branch casters: {shadows['oldest_branch_casters']}\n")
+    if shadows["oldest_store_casters"]:
+        out.append(f"  oldest store casters:  {shadows['oldest_store_casters']}\n")
+    delays = snapshot["scheme_delays"]
+    out.append(_section("per-scheme delay reasons"))
+    for name, value in delays.items():
+        if value:
+            out.append(f"  {name} = {value}\n")
+    memory = snapshot["memory"]
+    out.append(_section("cache / MSHR state"))
+    out.append(
+        f"  MSHRs {memory['mshr_in_flight']}/{memory['mshr_capacity']} in "
+        f"flight, {memory['mshr_stalls']} allocation stalls\n"
+    )
+    for entry in memory["mshr_lines"]:
+        out.append(
+            f"    line {entry['line']} completes at {entry['completes_at']}\n"
+        )
+    if "doppelganger" in snapshot:
+        dl = snapshot["doppelganger"]
+        out.append(_section("doppelganger engine"))
+        out.append(
+            f"  outstanding_instances={dl['outstanding_instances']} "
+            f"pending_candidates={dl['pending_candidates']} "
+            f"issued={dl['dl_issued']} correct={dl['dl_correct']} "
+            f"wrong={dl['dl_wrong']}\n"
+        )
+    out.append(_section("raw snapshot (json)"))
+    out.append(json.dumps(snapshot, indent=2, sort_keys=True))
+    out.append("\n")
+    return "".join(out)
+
+
+def write_crash_dump(dump_dir: str, snapshot: Dict[str, Any], text: str) -> str:
+    """Write ``text`` under ``dump_dir``; returns the file path.
+
+    The name embeds program, scheme, and cycle so dumps from a sweep never
+    collide; writes are atomic (tmp + rename) like the result cache.
+    """
+    directory = Path(dump_dir)
+    directory.mkdir(parents=True, exist_ok=True)
+    scheme = str(snapshot["scheme"]).replace("+", "_").replace("/", "_")
+    name = f"crash-{snapshot['program']}-{scheme}-cycle{snapshot['cycle']}.txt"
+    path = directory / name
+    tmp = path.with_suffix(".tmp")
+    tmp.write_text(text)
+    tmp.replace(path)
+    return str(path)

@@ -1,0 +1,289 @@
+"""The microarchitectural invariant checker.
+
+A wrong-path bug that leaks a rename-map entry or wedges a load queue
+does not crash a Python simulator — it silently skews IPC, which is the
+worst possible failure mode for a reproduction whose *output is the
+point*.  The checker makes the machine-state contracts that hold in a
+correct simulation explicit and executable, in the spirit of the
+machine-state invariants formal treatments (ProSpeCT, Colvin & Winter's
+abstract semantics) build their proofs on:
+
+========================  =============================================
+``rob``                   ROB age-ordered, bounded, only live entries;
+                          IQ accounting consistent.
+``rename``                every rename-map entry is a live ROB resident
+                          (the physical-register-leak analog: a squashed
+                          or evicted producer left in the map).
+``lsq``                   LQ/SQ entries are the right kind, age-ordered,
+                          bounded, and all map to live ROB entries.
+``mshr``                  occupancy within capacity, no orphaned miss
+                          pinned past the worst-case memory horizon.
+``shadows``               shadow casters never outlive (or miss) their
+                          casting instruction, in both directions.
+``doppelganger``          predicted-instance accounting balances and
+                          verify-or-replay holds (no dropped replays,
+                          no unverified preload consumed).
+``scheme``                the active scheme's own contract (NDA's value
+                          lock, STT taint monotonicity, DoM delayed-miss
+                          discipline, DoM+VP's validation gate).
+========================  =============================================
+
+Cadence is configured by :class:`~repro.common.config.GuardrailConfig`:
+``full`` checks every cycle (fault-injection tests, ``repro doctor``),
+``cheap`` every ``check_interval`` cycles (CI sweeps), ``off`` costs one
+attribute test per cycle.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Dict, List, Tuple
+
+from repro.common.errors import InvariantViolationError
+from repro.guardrails.dump import format_crash_dump, machine_snapshot, write_crash_dump
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.pipeline.core import Core
+
+INVARIANT_CLASSES = (
+    "rob",
+    "rename",
+    "lsq",
+    "mshr",
+    "shadows",
+    "doppelganger",
+    "scheme",
+)
+
+
+class InvariantChecker:
+    """Sweeps every invariant class over one core's state.
+
+    :meth:`audit` is the non-raising form (used by ``repro doctor`` for a
+    per-class report); :meth:`check` raises a typed
+    :class:`InvariantViolationError` carrying a machine-state snapshot —
+    and writes a crash dump when a dump directory is configured.
+    """
+
+    def __init__(self, core: "Core"):
+        self.core = core
+        self.dump_dir = core.config.guardrails.dump_dir
+        self._checks: Tuple[Tuple[str, Callable[[], List[str]]], ...] = (
+            ("rob", self._check_rob),
+            ("rename", self._check_rename),
+            ("lsq", self._check_lsq),
+            ("mshr", self._check_mshr),
+            ("shadows", self._check_shadows),
+            ("doppelganger", self._check_doppelganger),
+            ("scheme", self._check_scheme),
+        )
+
+    # ------------------------------------------------------------------
+    # Entry points
+    # ------------------------------------------------------------------
+    def audit(self) -> Dict[str, List[str]]:
+        """Run every class; returns ``{class: [violations]}`` (all keys)."""
+        return {name: check() for name, check in self._checks}
+
+    def check(self) -> None:
+        """Raise :class:`InvariantViolationError` on any violation."""
+        for name, check in self._checks:
+            problems = check()
+            if problems:
+                self._fail(name, problems)
+
+    def _fail(self, invariant: str, problems: List[str]) -> None:
+        core = self.core
+        snapshot = machine_snapshot(core)
+        labelled = [f"[{invariant}] {problem}" for problem in problems]
+        message = (
+            f"invariant {invariant!r} violated at cycle {core.cycle} "
+            f"({core.program.name} under {core.scheme.describe()}): "
+            f"{problems[0]}"
+            + (f" (+{len(problems) - 1} more)" if len(problems) > 1 else "")
+        )
+        dump_path = None
+        if self.dump_dir is not None:
+            text = format_crash_dump(snapshot, message, labelled)
+            dump_path = write_crash_dump(self.dump_dir, snapshot, text)
+        raise InvariantViolationError(
+            message,
+            invariant=invariant,
+            violations=labelled,
+            snapshot=snapshot,
+            dump_path=dump_path,
+        )
+
+    # ------------------------------------------------------------------
+    # Structural checks
+    # ------------------------------------------------------------------
+    def _check_rob(self) -> List[str]:
+        core = self.core
+        problems: List[str] = []
+        rob = core.rob
+        if len(rob) > core.config.core.rob_entries:
+            problems.append(
+                f"ROB holds {len(rob)} entries, capacity is "
+                f"{core.config.core.rob_entries}"
+            )
+        previous = -1
+        in_iq = 0
+        for uop in rob:
+            if uop.seq <= previous:
+                problems.append(
+                    f"ROB not age-ordered: seq={uop.seq} follows seq={previous}"
+                )
+            previous = uop.seq
+            if uop.squashed or uop.committed:
+                problems.append(
+                    f"ROB contains a {uop.state.name} entry seq={uop.seq} "
+                    f"(must have been removed)"
+                )
+            if uop.in_iq:
+                in_iq += 1
+        if in_iq != core.iq_count:
+            problems.append(
+                f"IQ accounting imbalance: counter says {core.iq_count}, "
+                f"ROB holds {in_iq} entries flagged in_iq"
+            )
+        if not 0 <= core.iq_count <= core.config.core.iq_entries:
+            problems.append(
+                f"IQ occupancy {core.iq_count} outside "
+                f"[0, {core.config.core.iq_entries}]"
+            )
+        return problems
+
+    def _check_rename(self) -> List[str]:
+        core = self.core
+        problems: List[str] = []
+        residents = {id(uop) for uop in core.rob}
+        for reg, uop in core.rename.items():
+            if uop.squashed:
+                problems.append(
+                    f"rename map r{reg} points at squashed seq={uop.seq} "
+                    f"(physical register leaked across squash)"
+                )
+            elif uop.committed:
+                problems.append(
+                    f"rename map r{reg} points at committed seq={uop.seq} "
+                    f"(stale mapping survived commit)"
+                )
+            elif id(uop) not in residents:
+                problems.append(
+                    f"rename map r{reg} points at seq={uop.seq} which is "
+                    f"not ROB-resident"
+                )
+        return problems
+
+    def _check_lsq(self) -> List[str]:
+        core = self.core
+        problems: List[str] = []
+        residents = {id(uop) for uop in core.rob}
+        for label, queue, capacity, want_load in (
+            ("LQ", core.lq, core.config.core.lq_entries, True),
+            ("SQ", core.sq, core.config.core.sq_entries, False),
+        ):
+            if len(queue) > capacity:
+                problems.append(
+                    f"{label} holds {len(queue)} entries, capacity {capacity}"
+                )
+            previous = -1
+            for uop in queue:
+                if uop.seq <= previous:
+                    problems.append(
+                        f"{label} not age-ordered: seq={uop.seq} follows "
+                        f"seq={previous}"
+                    )
+                previous = uop.seq
+                if want_load and not uop.is_load:
+                    problems.append(f"{label} entry seq={uop.seq} is not a load")
+                if not want_load and not uop.is_store:
+                    problems.append(f"{label} entry seq={uop.seq} is not a store")
+                if uop.squashed:
+                    # Squashes hit a contiguous youngest suffix, which the
+                    # prune removes — a surviving squashed entry leaked.
+                    problems.append(
+                        f"{label} entry seq={uop.seq} is squashed but was "
+                        f"never pruned"
+                    )
+                elif id(uop) not in residents:
+                    problems.append(
+                        f"{label} entry seq={uop.seq} does not map to a live "
+                        f"ROB entry"
+                    )
+        return problems
+
+    def _check_mshr(self) -> List[str]:
+        return self.core.hierarchy.validate(self.core.cycle)
+
+    def _check_shadows(self) -> List[str]:
+        core = self.core
+        problems: List[str] = []
+        by_seq = {uop.seq: uop for uop in core.rob}
+        branch_casters = core.shadows.live_branch_casters()
+        store_casters = core.shadows.live_store_casters()
+        for seq in branch_casters:
+            uop = by_seq.get(seq)
+            if uop is None:
+                problems.append(
+                    f"branch shadow caster seq={seq} outlived its casting "
+                    f"instruction (not in ROB)"
+                )
+            elif not uop.inst.is_conditional_branch:
+                problems.append(
+                    f"branch shadow caster seq={seq} is not a conditional "
+                    f"branch"
+                )
+            elif uop.branch_resolved:
+                problems.append(
+                    f"branch shadow caster seq={seq} is already resolved but "
+                    f"still casts a shadow"
+                )
+        for seq in store_casters:
+            uop = by_seq.get(seq)
+            if uop is None:
+                problems.append(
+                    f"store shadow caster seq={seq} outlived its casting "
+                    f"instruction (not in ROB)"
+                )
+            elif not uop.is_store:
+                problems.append(f"store shadow caster seq={seq} is not a store")
+            elif uop.address_ready:
+                problems.append(
+                    f"store shadow caster seq={seq} has a resolved address "
+                    f"but still casts a shadow"
+                )
+        # Reverse direction: every unresolved caster in the window must be
+        # tracked, else speculation checks go permissive (unsafe!).
+        tracked_branches = set(branch_casters)
+        tracked_stores = set(store_casters)
+        for uop in core.rob:
+            if uop.squashed:
+                continue
+            if (
+                uop.inst.is_conditional_branch
+                and not uop.branch_resolved
+                and uop.seq not in tracked_branches
+            ):
+                problems.append(
+                    f"unresolved branch seq={uop.seq} casts no shadow "
+                    f"(speculation window under-approximated)"
+                )
+            if (
+                uop.is_store
+                and not uop.address_ready
+                and uop.seq not in tracked_stores
+            ):
+                problems.append(
+                    f"unresolved store seq={uop.seq} casts no shadow "
+                    f"(speculation window under-approximated)"
+                )
+        return problems
+
+    def _check_doppelganger(self) -> List[str]:
+        core = self.core
+        if core.engine is None:
+            return []
+        return core.engine.validate(core.rob)
+
+    def _check_scheme(self) -> List[str]:
+        return self.core.scheme.check_invariants(self.core)

@@ -1,4 +1,4 @@
-"""A parallel, persistent experiment runner.
+"""A parallel, persistent, fault-tolerant experiment runner.
 
 The paper's evaluation is a (benchmark × scheme) matrix — Figures 1, 6,
 7, and 8 all re-sweep the same seven configurations over every SPEC
@@ -7,14 +7,15 @@ stand-in.  :class:`ParallelSession` is a drop-in replacement for
 cheap twice over:
 
 * **Parallel** — :meth:`ParallelSession.sweep` fans the pairs out over a
-  :mod:`multiprocessing` pool.  Each worker receives a picklable
-  :class:`SweepJob` (labels, window sizes, and the config as plain data),
-  rebuilds the :class:`~repro.pipeline.core.Core` from scratch, and ships
-  the measurement-window :class:`~repro.common.stats.SimStats` back as a
-  dict.  Every pair is simulated in its own interpreter with no shared
-  state, so results are bit-identical between ``jobs=1`` and ``jobs=N``:
-  the simulator is deterministic and stats are never accumulated across
-  processes — the parent reassembles results strictly in request order.
+  :class:`~concurrent.futures.ProcessPoolExecutor`.  Each worker receives
+  a picklable :class:`SweepJob` (labels, window sizes, and the config as
+  plain data), rebuilds the :class:`~repro.pipeline.core.Core` from
+  scratch, and ships the measurement-window
+  :class:`~repro.common.stats.SimStats` back as a dict.  Every pair is
+  simulated in its own interpreter with no shared state, so results are
+  bit-identical between ``jobs=1`` and ``jobs=N``: the simulator is
+  deterministic and stats are never accumulated across processes — the
+  parent reassembles results strictly in request order.
 
 * **Persistent** — with ``cache_dir`` set, every finished run is written
   to disk keyed by a stable fingerprint of (benchmark, scheme, warmup,
@@ -22,24 +23,47 @@ cheap twice over:
   any figure after an unrelated code change is a cache hit; changing any
   config knob or window size misses by construction.  Cache files are
   self-describing JSON, written atomically (tmp + rename) so concurrent
-  writers can share a directory.
+  writers can share a directory.  **Only successful runs are ever written
+  to disk** — a failure cached as data would mask later fixes until the
+  cache directory is cleared, so failures live in the session memo only.
 
-Failure semantics: a worker that hits a
-:class:`~repro.common.errors.ReproError` returns the error as data; the
-parent re-raises it (typed, naming the pair) from :meth:`run`, or —
-with ``skip_errors=True`` — records it in :attr:`skipped` and keeps the
-rest of the sweep.  Failures are memoized like results so a halting
-benchmark is not re-simulated once per figure.
+Failure semantics (the fault-tolerance layer):
+
+* A worker that hits a :class:`~repro.common.errors.ReproError` returns
+  the error as data.  These are **deterministic** — the simulator has no
+  nondeterminism, so retrying is pointless — and the parent re-raises
+  them (typed, naming the pair) from :meth:`run`, or, with
+  ``skip_errors=True``, records them in :attr:`skipped` and keeps the
+  rest of the sweep.
+* A worker that exceeds ``job_timeout``, dies outright, or raises a
+  non-simulator exception produces a **transient** failure: the job is
+  retried up to ``retries`` times with exponential backoff before it is
+  recorded as failed.  A dead worker breaks the whole pool (CPython
+  offers no per-future blame), so every job in flight at the moment of
+  the crash is marked transient and re-run — the deterministic culprit
+  fails again on retry while innocent bystanders complete, which is what
+  isolates a crash to the job that caused it.
+* Results are stored (memo + disk) *as each job resolves*, so Ctrl-C or
+  a mid-sweep crash loses only in-flight work; everything already
+  finished is in the cache when the sweep is re-run.
+* After any sweep that ran cold jobs, a **failure manifest**
+  (``failure_manifest.json`` in the cache dir) records each failed run's
+  key, error type, attempt count, and crash-dump path if the guardrails
+  wrote one.
 """
 
 from __future__ import annotations
 
 import json
+import math
 import multiprocessing
 import os
-from dataclasses import dataclass, field
+import time
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import asdict, dataclass, field
 from pathlib import Path
-from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.common.config import (
     SystemConfig,
@@ -47,7 +71,14 @@ from repro.common.config import (
     config_to_dict,
     default_config,
 )
-from repro.common.errors import EmptyMeasurementError, ReproError
+from repro.common.errors import (
+    DeadlockError,
+    EmptyMeasurementError,
+    InvariantViolationError,
+    JobTimeoutError,
+    ReproError,
+    WorkerCrashError,
+)
 from repro.common.stats import RunResult
 from repro.harness.runner import (
     BASELINE_SCHEME,
@@ -61,6 +92,9 @@ from repro.harness.runner import (
 #: Bump when the cache file layout or the meaning of a counter changes;
 #: part of every disk key, so stale formats miss instead of mis-loading.
 CACHE_FORMAT_VERSION = 1
+
+#: Name of the per-cache-directory record of failed runs.
+FAILURE_MANIFEST_NAME = "failure_manifest.json"
 
 
 @dataclass(frozen=True)
@@ -85,12 +119,36 @@ class SweepJob:
         return cls(benchmark, scheme, warmup, measure, config_to_dict(config))
 
 
+def _failure_payload(
+    job: SweepJob,
+    error_type: str,
+    message: str,
+    transient: bool,
+    **extra: Any,
+) -> Dict[str, Any]:
+    payload: Dict[str, Any] = {
+        "ok": False,
+        "error_type": error_type,
+        "message": message,
+        "benchmark": job.benchmark,
+        "scheme": job.scheme,
+        "transient": transient,
+    }
+    payload.update(extra)
+    return payload
+
+
 def execute_job(job: SweepJob) -> Dict[str, Any]:
     """Worker entry point: rebuild the Core, run, return plain data.
 
     Must stay a module-level function (pickled by name into the pool) and
     must never raise: errors travel back as data so one bad pair cannot
-    poison the pool or lose the rest of a sweep.
+    poison the pool or lose the rest of a sweep.  Simulator errors
+    (:class:`ReproError`) are deterministic and marked non-transient;
+    anything else — including a ``KeyboardInterrupt`` delivered to the
+    worker when the user hits Ctrl-C — is transient, so the parent can
+    finish flushing completed results and retry cleanly later instead of
+    unwinding through a half-written pool protocol.
     """
     try:
         result = run_benchmark(
@@ -101,27 +159,87 @@ def execute_job(job: SweepJob) -> Dict[str, Any]:
             job.measure,
         )
         return {"ok": True, "result": result.to_dict()}
+    except InvariantViolationError as error:
+        return _failure_payload(
+            job,
+            type(error).__name__,
+            str(error),
+            transient=False,
+            invariant=error.invariant,
+            violations=list(error.violations),
+            dump_path=error.dump_path,
+        )
+    except DeadlockError as error:
+        return _failure_payload(
+            job,
+            type(error).__name__,
+            str(error),
+            transient=False,
+            kind=error.kind,
+            dump_path=error.dump_path,
+        )
     except ReproError as error:
-        return {
-            "ok": False,
-            "error_type": type(error).__name__,
-            "message": str(error),
-            "benchmark": job.benchmark,
-            "scheme": job.scheme,
-        }
+        return _failure_payload(job, type(error).__name__, str(error), transient=False)
+    except KeyboardInterrupt:
+        return _failure_payload(
+            job, "KeyboardInterrupt", "interrupted mid-run", transient=True
+        )
+    except Exception as error:  # crash isolation: bugs travel back as data
+        return _failure_payload(
+            job, type(error).__name__, str(error) or repr(error), transient=True
+        )
+
+
+def _timeout_payload(job: SweepJob, timeout: float) -> Dict[str, Any]:
+    return _failure_payload(
+        job,
+        "JobTimeoutError",
+        f"no result within the {timeout:g}s per-job budget",
+        transient=True,
+    )
+
+
+def _crash_payload(job: SweepJob) -> Dict[str, Any]:
+    return _failure_payload(
+        job,
+        "WorkerCrashError",
+        "worker process died before returning a result",
+        transient=True,
+    )
 
 
 def _raise_job_error(payload: Dict[str, Any]) -> None:
-    if payload["error_type"] == "EmptyMeasurementError":
+    """Re-raise a failure payload as the typed error it came from."""
+    error_type = payload["error_type"]
+    benchmark = payload["benchmark"]
+    scheme = payload["scheme"]
+    message = payload["message"]
+    labelled = f"({benchmark}, {scheme}): {message}"
+    if error_type == "EmptyMeasurementError":
         # The worker's message already carries the "(benchmark, scheme):"
         # prefix, so rebuild without re-prefixing and reattach the labels.
-        error = EmptyMeasurementError(payload["message"])
-        error.benchmark = payload["benchmark"]
-        error.scheme = payload["scheme"]
+        error = EmptyMeasurementError(message)
+        error.benchmark = benchmark
+        error.scheme = scheme
         raise error
-    raise ReproError(
-        f"({payload['benchmark']}, {payload['scheme']}): {payload['message']}"
-    )
+    if error_type == "InvariantViolationError":
+        raise InvariantViolationError(
+            labelled,
+            invariant=payload.get("invariant", "unknown"),
+            violations=payload.get("violations"),
+            dump_path=payload.get("dump_path"),
+        )
+    if error_type == "DeadlockError":
+        raise DeadlockError(
+            labelled,
+            kind=payload.get("kind", "deadlock"),
+            dump_path=payload.get("dump_path"),
+        )
+    if error_type == "JobTimeoutError":
+        raise JobTimeoutError(labelled)
+    if error_type in ("WorkerCrashError", "KeyboardInterrupt"):
+        raise WorkerCrashError(labelled)
+    raise ReproError(labelled)
 
 
 @dataclass
@@ -131,10 +249,39 @@ class SkippedRun:
     benchmark: str
     scheme: str
     message: str
+    error_type: str = "ReproError"
+    dump_path: Optional[str] = None
+
+
+@dataclass
+class FailureRecord:
+    """One failed run, as recorded in the failure manifest."""
+
+    benchmark: str
+    scheme: str
+    error_type: str
+    message: str
+    attempts: int = 1
+    transient: bool = False
+    dump_path: Optional[str] = None
+    key: List[Any] = field(default_factory=list)
+
+    @classmethod
+    def from_payload(cls, key: RunKey, payload: Dict[str, Any]) -> "FailureRecord":
+        return cls(
+            benchmark=payload["benchmark"],
+            scheme=payload["scheme"],
+            error_type=payload["error_type"],
+            message=payload["message"],
+            attempts=payload.get("attempts", 1),
+            transient=payload.get("transient", False),
+            dump_path=payload.get("dump_path"),
+            key=list(key),
+        )
 
 
 class ParallelSession:
-    """Parallel, disk-backed drop-in for ``ExperimentSession``.
+    """Parallel, disk-backed, fault-tolerant drop-in for ``ExperimentSession``.
 
     Parameters
     ----------
@@ -143,6 +290,21 @@ class ParallelSession:
         ``1`` runs everything inline (no pool, still disk-cached).
     cache_dir:
         Directory for the persistent result cache; ``None`` disables it.
+    job_timeout:
+        Per-job wall-clock budget in seconds; ``None`` (default) waits
+        forever.  A wave of jobs gets ``job_timeout × ceil(n / workers)``
+        to finish — the bound a fair scheduler would need — and anything
+        still unfinished is marked :class:`JobTimeoutError` (transient),
+        the stuck workers are killed, and the jobs retried.
+    retries:
+        How many times a *transient* failure (timeout, worker crash,
+        unexpected exception) is re-run before being recorded as failed.
+        Deterministic simulator errors are never retried.
+    retry_backoff:
+        Base delay in seconds before each retry wave, doubling per wave.
+    mp_context:
+        ``multiprocessing`` start method for the pool (``"fork"``,
+        ``"spawn"``...); ``None`` uses the platform default.
     """
 
     def __init__(
@@ -152,12 +314,20 @@ class ParallelSession:
         measure: int = DEFAULT_MEASURE,
         jobs: Optional[int] = None,
         cache_dir: Optional[os.PathLike] = None,
+        job_timeout: Optional[float] = None,
+        retries: int = 1,
+        retry_backoff: float = 0.5,
+        mp_context: Optional[str] = None,
     ):
         self.config = config if config is not None else default_config()
         self.warmup = warmup
         self.measure = measure
         self.jobs = max(1, jobs if jobs is not None else os.cpu_count() or 1)
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        self.job_timeout = job_timeout
+        self.retries = max(0, retries)
+        self.retry_backoff = max(0.0, retry_backoff)
+        self.mp_context = mp_context
         self._memo: Dict[RunKey, RunResult] = {}
         self._failures: Dict[RunKey, Dict[str, Any]] = {}
         self.skipped: List[SkippedRun] = []
@@ -193,6 +363,8 @@ class ParallelSession:
             return None  # treat a torn/corrupt file as a miss
         if payload.get("key") != list(key):
             return None  # digest-prefix collision or stale format
+        if not payload.get("result"):
+            return None  # never trust a file without a real result body
         return RunResult.from_dict(payload["result"])
 
     def _disk_store(self, key: RunKey, result: RunResult) -> None:
@@ -214,9 +386,11 @@ class ParallelSession:
     # Running
     # ------------------------------------------------------------------
     def _lookup(self, key: RunKey) -> Optional[RunResult]:
-        """Memo, then disk.  Replays memoized failures."""
-        if key in self._failures:
-            _raise_job_error(self._failures[key])
+        """Memo, then disk.  Replays memoized *deterministic* failures;
+        transient ones (timeout, crash) read as a miss so they re-run."""
+        recorded = self._failures.get(key)
+        if recorded is not None and not recorded.get("transient", False):
+            _raise_job_error(recorded)
         if key in self._memo:
             self.memo_hits += 1
             return self._memo[key]
@@ -229,8 +403,12 @@ class ParallelSession:
 
     def _store(self, key: RunKey, payload: Dict[str, Any]) -> Optional[RunResult]:
         if not payload["ok"]:
+            # Failures are memoized in the session only — never written
+            # to the disk cache, where they would mask later fixes until
+            # the cache directory is cleared (see module docstring).
             self._failures[key] = payload
             return None
+        self._failures.pop(key, None)  # a retry succeeded; clear the record
         result = RunResult.from_dict(payload["result"])
         self._memo[key] = result
         self._disk_store(key, result)
@@ -263,7 +441,10 @@ class ParallelSession:
         ``ExperimentSession.sweep`` — ``for b in benchmarks for s in
         schemes`` — regardless of worker scheduling, minus failed pairs
         when ``skip_errors`` is set (those are appended to
-        :attr:`skipped`).
+        :attr:`skipped`).  Each run is cached the moment it finishes, so
+        interrupting a sweep preserves all completed work; after the cold
+        jobs run, the failure manifest in the cache directory is
+        rewritten to match this sweep's outcome.
         """
         pairs: List[Tuple[str, str]] = [
             (b, s) for b in benchmarks for s in schemes
@@ -272,10 +453,15 @@ class ParallelSession:
 
         # Resolve memo/disk hits first; only cold pairs reach the pool.
         # A pair may appear twice in a grid; dedupe while keeping order.
-        cold: List[Tuple[RunKey, Tuple[str, str]]] = []
+        # A *transient* recorded failure does not count as resolved — the
+        # pair re-runs; only deterministic failures replay from the memo.
+        cold: List[Tuple[RunKey, SweepJob]] = []
         seen = set()
-        for key, pair in zip(keys, pairs):
-            if key in seen or key in self._failures:
+        for key, (benchmark, scheme) in zip(keys, pairs):
+            if key in seen:
+                continue
+            recorded = self._failures.get(key)
+            if recorded is not None and not recorded.get("transient", False):
                 continue
             if key in self._memo:
                 self.memo_hits += 1
@@ -286,37 +472,216 @@ class ParallelSession:
                 self._memo[key] = from_disk
                 continue
             seen.add(key)
-            cold.append((key, pair))
+            cold.append(
+                (
+                    key,
+                    SweepJob.build(
+                        benchmark, scheme, self.warmup, self.measure, self.config
+                    ),
+                )
+            )
 
         if cold:
-            jobs = [
-                SweepJob.build(b, s, self.warmup, self.measure, self.config)
-                for _, (b, s) in cold
-            ]
-            for (key, _), payload in zip(cold, self._run_jobs(jobs)):
-                self.simulated += 1
-                self._store(key, payload)
+            try:
+                self._run_jobs(cold)
+            finally:
+                # Even an interrupted sweep leaves an accurate manifest
+                # for whatever resolved before the interrupt.
+                self.write_failure_manifest()
 
         results: List[RunResult] = []
         for key, (benchmark, scheme) in zip(keys, pairs):
             if key in self._failures:
+                payload = self._failures[key]
                 if not skip_errors:
-                    _raise_job_error(self._failures[key])
+                    _raise_job_error(payload)
                 self.skipped.append(
-                    SkippedRun(benchmark, scheme, self._failures[key]["message"])
+                    SkippedRun(
+                        benchmark,
+                        scheme,
+                        payload["message"],
+                        error_type=payload["error_type"],
+                        dump_path=payload.get("dump_path"),
+                    )
                 )
                 continue
             results.append(self._memo[key])
         return results
 
-    def _run_jobs(self, jobs: Sequence[SweepJob]) -> List[Dict[str, Any]]:
-        """Execute cold jobs, in order, with up to ``self.jobs`` workers."""
-        if self.jobs == 1 or len(jobs) == 1:
-            return [execute_job(job) for job in jobs]
-        with multiprocessing.get_context().Pool(
-            processes=min(self.jobs, len(jobs))
-        ) as pool:
-            return pool.map(execute_job, jobs)
+    # ------------------------------------------------------------------
+    # The fault-tolerant job engine
+    # ------------------------------------------------------------------
+    def _run_jobs(self, cold: Sequence[Tuple[RunKey, SweepJob]]) -> None:
+        """Run cold jobs through waves of execution + bounded retry.
+
+        Every job resolves exactly once — success, deterministic failure,
+        or transient failure that exhausted its retries — and is stored
+        (memo + disk + failure record) *the moment it resolves*, so an
+        interrupt can only lose jobs still in flight.
+        """
+        unresolved: Dict[int, Tuple[RunKey, SweepJob]] = dict(enumerate(cold))
+        attempts: Dict[int, int] = {index: 0 for index in unresolved}
+        last_transient: Dict[int, Dict[str, Any]] = {}
+
+        def resolve(index: int, payload: Dict[str, Any]) -> None:
+            attempts[index] += 1
+            final_wave = wave == self.retries
+            if payload["ok"] or not payload.get("transient", False) or final_wave:
+                key, _ = unresolved.pop(index)
+                payload["attempts"] = attempts[index]
+                self.simulated += 1
+                self._store(key, payload)
+            else:
+                last_transient[index] = payload
+
+        for wave in range(self.retries + 1):
+            if not unresolved:
+                break
+            if wave and self.retry_backoff:
+                time.sleep(self.retry_backoff * (2 ** (wave - 1)))
+            self._run_wave(dict(unresolved), resolve)
+
+        # A wave can end without resolving everything only if it was cut
+        # short (pool broke after its futures were marked transient, or a
+        # kill raced a result); record whatever we last saw.
+        for index in list(unresolved):
+            key, job = unresolved.pop(index)
+            payload = last_transient.get(index, _crash_payload(job))
+            payload["attempts"] = max(1, attempts[index])
+            self.simulated += 1
+            self._store(key, payload)
+
+    def _run_wave(
+        self,
+        items: Dict[int, Tuple[RunKey, SweepJob]],
+        resolve: Callable[[int, Dict[str, Any]], None],
+    ) -> None:
+        """One attempt at every unresolved job; calls ``resolve`` per job.
+
+        ``resolve`` fires as each future completes (not after the wave),
+        which is what makes mid-sweep interrupts lossless for finished
+        work.  On a per-wave timeout the hung workers are killed; on a
+        broken pool every in-flight job is reported as a (transient)
+        worker crash and the next wave sorts the culprit from bystanders.
+        """
+        # Inline only for a serial session with no timeout: a wall-clock
+        # budget can only be enforced on a killable child process, and a
+        # parallel session must keep crash isolation even when a retry
+        # wave is down to a single job — running that job in the parent
+        # would let a crashing worker take the whole sweep with it.
+        if self.jobs == 1 and self.job_timeout is None:
+            for index, (_, job) in items.items():
+                resolve(index, execute_job(job))
+            return
+
+        workers = min(self.jobs, len(items))
+        context = multiprocessing.get_context(self.mp_context)
+        executor = ProcessPoolExecutor(max_workers=workers, mp_context=context)
+        try:
+            futures: Dict[Future, int] = {
+                executor.submit(execute_job, job): index
+                for index, (_, job) in items.items()
+            }
+            pending = set(futures)
+            deadline = None
+            if self.job_timeout is not None:
+                # Each worker may serve ceil(n / workers) queued jobs.
+                budget = self.job_timeout * math.ceil(len(items) / workers)
+                deadline = time.monotonic() + budget
+            while pending:
+                timeout = None
+                if deadline is not None:
+                    timeout = max(0.0, deadline - time.monotonic())
+                done, pending = wait(
+                    pending, timeout=timeout, return_when=FIRST_COMPLETED
+                )
+                if not done:
+                    # Wave budget exhausted: everything still in flight is
+                    # a timeout; kill the stuck workers so the pool dies
+                    # with this wave instead of leaking hung processes.
+                    for future in pending:
+                        index = futures[future]
+                        resolve(index, _timeout_payload(items[index][1], self.job_timeout))
+                    self._kill_workers(executor)
+                    return
+                broken = False
+                for future in done:
+                    index = futures[future]
+                    try:
+                        payload = future.result()
+                    except BrokenProcessPool:
+                        payload = _crash_payload(items[index][1])
+                        broken = True
+                    except Exception as error:  # unpicklable payloads etc.
+                        payload = _failure_payload(
+                            items[index][1],
+                            type(error).__name__,
+                            str(error) or repr(error),
+                            transient=True,
+                        )
+                    resolve(index, payload)
+                if broken:
+                    # The pool is gone; every remaining future died with
+                    # it.  CPython cannot say *which* worker crashed, so
+                    # all of them go back for retry — the deterministic
+                    # culprit fails again, the bystanders complete.
+                    for future in pending:
+                        index = futures[future]
+                        resolve(index, _crash_payload(items[index][1]))
+                    return
+        except BaseException:
+            # Ctrl-C (or an unexpected bug) mid-wave: results already
+            # resolved are stored; kill the workers so the interpreter
+            # does not block on join at exit.
+            self._kill_workers(executor)
+            raise
+        finally:
+            executor.shutdown(wait=False, cancel_futures=True)
+
+    @staticmethod
+    def _kill_workers(executor: ProcessPoolExecutor) -> None:
+        processes = getattr(executor, "_processes", None) or {}
+        for process in list(processes.values()):
+            try:
+                process.kill()
+            except (OSError, AttributeError):  # already gone
+                pass
+
+    # ------------------------------------------------------------------
+    # Failure introspection
+    # ------------------------------------------------------------------
+    def failures(self) -> List[FailureRecord]:
+        """Every currently-recorded failed run, as structured records."""
+        return [
+            FailureRecord.from_payload(key, payload)
+            for key, payload in sorted(self._failures.items())
+        ]
+
+    @property
+    def failure_manifest_path(self) -> Optional[Path]:
+        if self.cache_dir is None:
+            return None
+        return self.cache_dir / FAILURE_MANIFEST_NAME
+
+    def write_failure_manifest(self) -> Optional[Path]:
+        """Write the failure manifest; returns its path (None if no cache).
+
+        Always rewritten after a sweep ran cold jobs — an empty
+        ``failures`` list is the machine-readable all-clear, replacing
+        any stale manifest from an earlier broken run.
+        """
+        path = self.failure_manifest_path
+        if path is None:
+            return None
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "version": CACHE_FORMAT_VERSION,
+            "failures": [asdict(record) for record in self.failures()],
+        }
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_text(json.dumps(payload, indent=2, sort_keys=True))
+        tmp.replace(path)
+        return path
 
     # ------------------------------------------------------------------
     # ExperimentSession-compatible derived metrics / introspection

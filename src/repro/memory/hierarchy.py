@@ -207,6 +207,33 @@ class MemoryHierarchy:
             level.flush()
         self.mshrs.reset()
 
+    # ------------------------------------------------------------------
+    # Guardrails / diagnostics
+    # ------------------------------------------------------------------
+    @property
+    def max_latency(self) -> int:
+        """Worst-case cycles for any single access (L3 miss to DRAM)."""
+        return self.config.l3.latency + self.config.dram_latency
+
+    def validate(self, cycle: int) -> List[str]:
+        """MSHR invariant sweep (see :meth:`MSHRFile.validate`)."""
+        return self.mshrs.validate(cycle, max_latency=self.max_latency)
+
+    def snapshot(self, cycle: int) -> dict:
+        """Structured state for crash dumps: MSHR occupancy and in-flight
+        lines (completion-sorted, truncated to the first 16)."""
+        outstanding = self.mshrs.outstanding_lines()
+        lines = sorted(outstanding.items(), key=lambda item: item[1])
+        return {
+            "mshr_capacity": self.mshrs.entries,
+            "mshr_in_flight": len(outstanding),
+            "mshr_lines": [
+                {"line": hex(line), "completes_at": ready}
+                for line, ready in lines[:16]
+            ],
+            "mshr_stalls": self.stats.mshr_stalls,
+        }
+
     def warm(self, addresses: List[int], cycle: int = 0) -> None:
         """Pre-fill lines into every level (test/attack setup)."""
         for address in addresses:

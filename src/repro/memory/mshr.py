@@ -54,5 +54,44 @@ class MSHRFile:
         self._expire(cycle)
         return len(self._outstanding)
 
+    def outstanding_lines(self) -> Dict[int, int]:
+        """Raw ``line -> completion cycle`` view, *without* expiry.
+
+        Guardrails and crash dumps want the unfiltered state: lazy expiry
+        means entries whose completion has passed may legitimately linger
+        until the next access, but nothing should ever sit past capacity
+        or absurdly far in the future.
+        """
+        return dict(self._outstanding)
+
+    def validate(self, cycle: int, max_latency: Optional[int] = None) -> list:
+        """Invariant sweep: returns violation strings (empty when sound).
+
+        Checks (after applying lazy expiry, so stale-but-unexpired entries
+        are not false positives):
+
+        * occupancy never exceeds the register count;
+        * no *orphaned* miss — an entry whose completion lies further in
+          the future than the worst-case memory latency can never have
+          come from a real allocation and would pin an MSHR forever.
+        """
+        self._expire(cycle)
+        problems = []
+        if len(self._outstanding) > self.entries:
+            problems.append(
+                f"MSHR occupancy {len(self._outstanding)} exceeds capacity "
+                f"{self.entries}"
+            )
+        if max_latency is not None:
+            horizon = cycle + max_latency
+            for line, ready in self._outstanding.items():
+                if ready > horizon:
+                    problems.append(
+                        f"orphaned MSHR for line {line:#x}: completion "
+                        f"{ready} is beyond the worst-case horizon {horizon} "
+                        f"(cycle {cycle} + max latency {max_latency})"
+                    )
+        return problems
+
     def reset(self) -> None:
         self._outstanding.clear()

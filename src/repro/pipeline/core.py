@@ -38,6 +38,8 @@ from repro.common.config import SystemConfig, default_config
 from repro.common.errors import SimulationLimitError
 from repro.common.stats import SimStats
 from repro.doppelganger.engine import DoppelgangerEngine
+from repro.guardrails.invariants import InvariantChecker
+from repro.guardrails.watchdog import Watchdog
 from repro.isa.instructions import (
     KIND_ALU,
     KIND_CBRANCH,
@@ -80,9 +82,6 @@ _K_STORE_DATA = 1
 
 _FORWARD_LATENCY = 2
 """Cycles for a store-buffer forward to deliver data."""
-
-_DEADLOCK_WINDOW = 200_000
-"""Cycles without a commit before the core declares itself wedged."""
 
 _SQUASHED = UopState.SQUASHED
 _COMPLETED = UopState.COMPLETED
@@ -150,6 +149,17 @@ class Core:
         self.halted = False
         self._last_commit_cycle = 0
 
+        # Guardrails: the watchdog is always armed (one compare per run
+        # iteration); the invariant checker exists only when enabled so
+        # --guardrails off costs a single attribute test per cycle.
+        interval = self.config.guardrails.effective_interval
+        self.invariant_checker: Optional[InvariantChecker] = (
+            InvariantChecker(self) if interval else None
+        )
+        self._check_interval = interval
+        self._check_countdown = interval
+        self.watchdog = Watchdog(self)
+
     # ==================================================================
     # Public API
     # ==================================================================
@@ -165,11 +175,8 @@ class Core:
                 raise SimulationLimitError(
                     f"{self.program.name}: exceeded {limit} cycles"
                 )
-            if self.cycle - self._last_commit_cycle > _DEADLOCK_WINDOW:
-                raise SimulationLimitError(
-                    f"{self.program.name}: no commit for {_DEADLOCK_WINDOW} cycles "
-                    f"at cycle {self.cycle} (pipeline deadlock)"
-                )
+            if self.cycle - self._last_commit_cycle > self.watchdog.window:
+                self.watchdog.trip(self)
             self.step()
         self.stats.cycles = self.cycle
         return self.stats
@@ -188,6 +195,11 @@ class Core:
             ports = self.engine.issue_spare(ports, now)
         self._issue_prefetches(now, ports)
         self._dispatch(now)
+        if self.invariant_checker is not None:
+            self._check_countdown -= 1
+            if self._check_countdown <= 0:
+                self._check_countdown = self._check_interval
+                self.invariant_checker.check()
         self.cycle = self._next_cycle(now)
 
     def _next_cycle(self, now: int) -> int:
@@ -952,8 +964,13 @@ class Core:
             inst = uop.inst
             kind = inst.kind
             if inst.writes and self.rename.get(inst.rd) is uop:
-                if uop.prev_producer is not None:
-                    self.rename[inst.rd] = uop.prev_producer
+                # Restore the shadowed producer, unless it has already
+                # committed — its value lives in the architectural file
+                # now, and re-inserting it would leave the map holding a
+                # stale reference past retirement.
+                prev = uop.prev_producer
+                if prev is not None and not prev.committed:
+                    self.rename[inst.rd] = prev
                 else:
                     del self.rename[inst.rd]
             if kind == KIND_CBRANCH and not uop.branch_resolved:

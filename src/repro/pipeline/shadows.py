@@ -64,6 +64,10 @@ class _CasterQueue:
         self._compact()
         return self._queue[0] if self._queue else INFINITE_SEQ
 
+    def live(self) -> list:
+        """Every unresolved sequence number, oldest first (guardrails)."""
+        return [seq for seq in self._queue if seq not in self._removed]
+
     def __len__(self) -> int:
         return self._live
 
@@ -123,6 +127,14 @@ class ShadowTracker:
 
     def unresolved_stores(self) -> int:
         return len(self._stores)
+
+    def live_branch_casters(self) -> list:
+        """Unresolved branch caster seqs, oldest first (guardrails)."""
+        return self._branches.live()
+
+    def live_store_casters(self) -> list:
+        """Unresolved store-address caster seqs, oldest first (guardrails)."""
+        return self._stores.live()
 
     def reset(self) -> None:
         self._branches.clear()

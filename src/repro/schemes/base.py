@@ -112,6 +112,20 @@ class SecureScheme:
         """Taint of a load's output at the moment its value binds."""
         return UNTAINTED
 
+    # ------------------------------------------------------------------
+    # Guardrails
+    # ------------------------------------------------------------------
+    def check_invariants(self, core: "Core") -> list:
+        """Scheme-specific invariant sweep; returns violation strings.
+
+        Called by the guardrail checker (``--guardrails cheap|full``) so
+        each scheme can assert the machine-state properties its security
+        argument rests on (NDA's value lock, STT's taint monotonicity,
+        DoM's delayed-miss discipline).  The base scheme has no
+        restrictions, hence nothing to violate.
+        """
+        return []
+
     def describe(self) -> str:
         suffix = "+AP" if self.address_prediction else ""
         return f"{self.name}{suffix}"

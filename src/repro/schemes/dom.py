@@ -60,3 +60,40 @@ class DelayOnMiss(SecureScheme):
         if self.shadows.is_speculative(branch.seq):
             return branch.seq
         return READY
+
+    def check_invariants(self, core) -> list:
+        """Delayed-miss discipline: a delayed load leaves no trace and
+        completes only through a real (replayed) access.
+
+        * no replacement-state update is ever queued for a load that is
+          still delayed (the retroactive ``touch`` belongs to probe hits
+          alone — updating it for a delayed miss is exactly the side
+          channel DoM exists to close);
+        * a delayed load that has not performed its access holds no value;
+        * a completed load must have executed an access, forwarded, or be
+          a validated value prediction — anything else is a dropped
+          replay, which silently commits stale data.
+        """
+        problems = []
+        for load in core.lq:
+            if load.squashed:
+                continue
+            if load.dom_delayed and not load.executed:
+                if load.dom_touch_pending:
+                    problems.append(
+                        f"delayed load seq={load.seq} pc={load.pc} has a "
+                        f"pending L1 replacement update (DoM must not touch "
+                        f"replacement state for delayed loads)"
+                    )
+                if load.result is not None and not load.vp_active:
+                    problems.append(
+                        f"delayed load seq={load.seq} pc={load.pc} bound a "
+                        f"value without performing its access"
+                    )
+            if load.completed and not load.executed and not load.vp_active:
+                problems.append(
+                    f"load seq={load.seq} pc={load.pc} completed without a "
+                    f"memory access, forward, or doppelganger release "
+                    f"(dropped replay)"
+                )
+        return problems

@@ -40,3 +40,25 @@ class DoMValuePrediction(DelayOnMiss):
 
     def describe(self) -> str:
         return self.name
+
+    def check_invariants(self, core) -> list:
+        """Plain-DoM checks plus the VP gate: a speculatively propagated
+        value prediction exists only on a *delayed miss* (anything else
+        would predict values DoM never needed to hide), and a predicted
+        value may never become architectural before validation (the
+        commit gate keeps vp-active loads at the ROB head)."""
+        problems = super().check_invariants(core)
+        for load in core.lq:
+            if load.squashed or not load.vp_active:
+                continue
+            if not load.dom_delayed:
+                problems.append(
+                    f"load seq={load.seq} pc={load.pc} is value-predicted "
+                    f"but was never a delayed miss"
+                )
+            if load.committed:
+                problems.append(
+                    f"load seq={load.seq} pc={load.pc} committed with an "
+                    f"unvalidated value prediction"
+                )
+        return problems

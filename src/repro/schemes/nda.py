@@ -30,3 +30,53 @@ class NDAPermissive(SecureScheme):
             return READY
         self.core.stats.delayed_propagations += 1
         return producer.seq
+
+    def check_invariants(self, core) -> list:
+        """The lock must hold: nothing consumes a speculative load's value.
+
+        Sound without issue-time state because the shadow frontier is
+        monotone — a load that was non-speculative when its dependent
+        issued can never become speculative again.  So any *issued*
+        dependent whose in-flight load producer is speculative *now* must
+        have bypassed the lock.
+        """
+        problems = []
+        shadows = self.shadows
+        for uop in core.rob:
+            if uop.squashed:
+                continue
+            issued = uop.issue_cycle >= 0
+            # Issue gates on src1 always, src2 only for ALU/branch ops;
+            # store data binds separately and is checked below.
+            producers = [uop.src1_uop]
+            if not uop.is_load and not uop.is_store:
+                producers.append(uop.src2_uop)
+            if issued:
+                for producer in producers:
+                    if (
+                        producer is not None
+                        and producer.is_load
+                        and producer.in_flight
+                        and not producer.squashed
+                        and shadows.is_speculative(producer.seq)
+                    ):
+                        problems.append(
+                            f"uop seq={uop.seq} pc={uop.pc} issued while its "
+                            f"load producer seq={producer.seq} is still "
+                            f"speculative (NDA value lock bypassed)"
+                        )
+            if uop.is_store and uop.store_data_ready:
+                producer = uop.src2_uop
+                if (
+                    producer is not None
+                    and producer.is_load
+                    and producer.in_flight
+                    and not producer.squashed
+                    and shadows.is_speculative(producer.seq)
+                ):
+                    problems.append(
+                        f"store seq={uop.seq} pc={uop.pc} bound data from "
+                        f"speculative load seq={producer.seq} (NDA value "
+                        f"lock bypassed)"
+                    )
+        return problems

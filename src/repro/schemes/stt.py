@@ -65,3 +65,45 @@ class STT(SecureScheme):
         if self.shadows.is_speculative(load.seq):
             return load.seq
         return UNTAINTED
+
+    def check_invariants(self, core) -> list:
+        """Taint soundness: a value's taint is never cleared (or lowered)
+        while any source it derives from is still speculative.
+
+        Producer taints are final by the time a consumer issues (set at
+        execute/value-bind, before the completion event), and ALU taints
+        are the max over producer taints, so an issued ALU op whose
+        in-flight producer carries a live speculative taint root must
+        itself carry a taint at least that young.  Loads and branches are
+        excluded: a load's field is reused (address taint at issue, output
+        taint at bind) and branches never record their operand taint, so a
+        cross-check against producers is not meaningful for either.
+        """
+        problems = []
+        shadows = self.shadows
+        for uop in core.rob:
+            if uop.squashed:
+                continue
+            taint = uop.taint
+            if taint != UNTAINTED and not 0 <= taint <= uop.seq:
+                problems.append(
+                    f"uop seq={uop.seq} pc={uop.pc} carries impossible "
+                    f"taint root {taint} (must lie in [0, seq])"
+                )
+            if uop.is_load or uop.is_store or uop.is_branch or uop.issue_cycle < 0:
+                continue
+            for producer in (uop.src1_uop, uop.src2_uop):
+                if producer is None or not producer.in_flight:
+                    continue
+                ptaint = producer.taint
+                if ptaint == UNTAINTED or not shadows.is_speculative(ptaint):
+                    continue
+                if taint == UNTAINTED or taint < ptaint:
+                    problems.append(
+                        f"uop seq={uop.seq} pc={uop.pc} taint="
+                        f"{'clean' if taint == UNTAINTED else taint} dropped "
+                        f"the live speculative taint root {ptaint} of "
+                        f"producer seq={producer.seq} (taint cleared while "
+                        f"source speculative)"
+                    )
+        return problems

@@ -1,0 +1,35 @@
+"""``repro doctor`` smoke tests (subset of schemes to stay fast; the CI
+guardrails job runs the full matrix via the CLI)."""
+
+from repro.guardrails import run_doctor
+from repro.guardrails.invariants import INVARIANT_CLASSES
+
+
+class TestDoctor:
+    def test_clean_schemes_report_ok(self):
+        report = run_doctor(schemes=("unsafe", "dom+ap"), instructions=1500)
+        assert report.ok
+        assert [row.scheme for row in report.rows] == ["unsafe", "dom+ap"]
+        for row in report.rows:
+            assert set(row.classes) == set(INVARIANT_CLASSES)
+        # No engine on the plain scheme, engine present on +ap.
+        assert report.rows[0].classes["doppelganger"] == "n/a"
+        assert report.rows[1].classes["doppelganger"] == "ok"
+
+    def test_render_is_a_table_with_verdict(self):
+        report = run_doctor(schemes=("unsafe",), instructions=800)
+        text = report.render()
+        assert "scheme" in text.splitlines()[0]
+        for name in INVARIANT_CLASSES:
+            assert name in text.splitlines()[0]
+        assert "all invariants held" in text
+
+
+class TestDoctorCli:
+    def test_cli_doctor_exit_code(self, capsys):
+        from repro.cli import main
+
+        code = main(["doctor", "--schemes", "unsafe", "--instructions", "800"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "all invariants held" in out

@@ -1,0 +1,241 @@
+"""Seeded fault-injection tests for the invariant checker.
+
+Each test runs a healthy core partway through the doctor smoke program,
+deliberately corrupts one microarchitectural structure the way a real
+wrong-path bug would, and asserts that the matching invariant class —
+and only a typed :class:`InvariantViolationError` — reports it, carrying
+a usable machine-state snapshot.
+"""
+
+import json
+
+import pytest
+
+from repro.common.config import GuardrailConfig, small_config
+from repro.common.errors import InvariantViolationError
+from repro.guardrails import InvariantChecker, smoke_program
+from repro.pipeline.core import Core
+from repro.pipeline.uop import UopState
+from repro.schemes import make_scheme
+
+
+def make_core(scheme="unsafe", level="full", dump_dir=None, instructions=600):
+    """A healthy mid-flight core: warm pipeline, nothing committed fully."""
+    config = small_config().with_overrides(
+        guardrails=GuardrailConfig(
+            level=level, dump_dir=str(dump_dir) if dump_dir else None
+        )
+    )
+    core = Core(smoke_program(), make_scheme(scheme), config=config)
+    core.run(max_instructions=instructions)
+    assert not core.halted, "smoke program must still be mid-flight"
+    return core
+
+
+def check_raises(core, invariant):
+    with pytest.raises(InvariantViolationError) as excinfo:
+        InvariantChecker(core).check()
+    error = excinfo.value
+    assert error.invariant == invariant
+    assert error.violations and all(
+        violation.startswith(f"[{invariant}]") for violation in error.violations
+    )
+    # The snapshot must be there, structured, and name the failure site.
+    assert error.snapshot["cycle"] == core.cycle
+    assert error.snapshot["scheme"] == core.scheme.describe()
+    assert "occupancy" in error.snapshot
+    assert "memory" in error.snapshot
+    return error
+
+
+class TestHealthyBaseline:
+    def test_mid_flight_core_is_clean(self):
+        core = make_core()
+        assert all(not v for v in InvariantChecker(core).audit().values())
+
+
+class TestRenameLeak:
+    def test_leaked_squashed_producer_is_caught(self):
+        core = make_core()
+        # A wrong-path bug that forgets to unwind the map: detach a
+        # non-memory producer from the ROB and mark it squashed while its
+        # rename-map entry survives.
+        reg, victim = next(
+            (reg, uop)
+            for reg, uop in core.rename.items()
+            if not uop.is_load and not uop.is_store
+        )
+        core.rob.remove(victim)
+        if victim.in_iq:
+            victim.in_iq = False
+            core.iq_count -= 1
+        victim.state = UopState.SQUASHED
+        error = check_raises(core, "rename")
+        assert "leaked across squash" in str(error)
+        assert f"r{reg}" in str(error)
+
+    def test_guardrails_off_has_no_checker(self):
+        core = make_core(level="off")
+        assert core.invariant_checker is None
+
+
+class TestStepCadence:
+    def test_corruption_is_caught_by_the_running_core(self):
+        """The checker plugged into Core.step() trips on the next sweep.
+
+        Uses an MSHR orphan because it cannot self-heal: a leaked rename
+        entry is often re-mapped by the next dispatched writer, but a
+        bogus in-flight line pinned past the memory horizon stays pinned.
+        """
+        core = make_core(level="full")
+        core.hierarchy.mshrs._outstanding[0xDEAD] = core.cycle + 10**9
+        with pytest.raises(InvariantViolationError) as excinfo:
+            core.run(max_instructions=10_000)
+        assert excinfo.value.invariant == "mshr"
+
+    def test_off_level_runs_through_corruption(self):
+        """--guardrails off: same corruption, no checker, no raise."""
+        core = make_core(level="off")
+        core.hierarchy.mshrs._outstanding[0xDEAD] = core.cycle + 10**9
+        core.run(max_instructions=700)  # must not raise
+
+
+class TestRobInvariants:
+    def test_age_order_violation(self):
+        core = make_core()
+        assert len(core.rob) >= 2
+        core.rob[0], core.rob[1] = core.rob[1], core.rob[0]
+        error = check_raises(core, "rob")
+        assert "not age-ordered" in str(error)
+
+    def test_iq_accounting_imbalance(self):
+        core = make_core()
+        core.iq_count += 3
+        error = check_raises(core, "rob")
+        assert "IQ" in str(error)
+
+
+class TestLsqInvariants:
+    def test_non_load_in_load_queue(self):
+        core = make_core()
+        intruder = next(uop for uop in core.rob if not uop.is_load)
+        core.lq.append(intruder)
+        error = check_raises(core, "lsq")
+        assert "is not a load" in str(error) or "not age-ordered" in str(error)
+
+
+class TestMshrInvariants:
+    def test_orphaned_miss_is_caught(self):
+        core = make_core()
+        # An entry pinned absurdly far past the worst-case latency can
+        # never have come from a real allocation.
+        core.hierarchy.mshrs._outstanding[0xDEAD] = core.cycle + 10**9
+        error = check_raises(core, "mshr")
+        assert "orphan" in str(error)
+
+    def test_overfilled_mshr_file_is_caught(self):
+        core = make_core()
+        mshrs = core.hierarchy.mshrs
+        horizon = core.cycle + core.hierarchy.max_latency
+        for line in range(mshrs.entries + 1):
+            mshrs._outstanding[0x5000 + line] = horizon
+        error = check_raises(core, "mshr")
+        assert "capacity" in str(error) or "entries" in str(error)
+
+
+class TestShadowInvariants:
+    def test_caster_outliving_instruction_is_caught(self):
+        core = make_core()
+        core.shadows.branch_dispatched(core.rob[-1].seq + 50)
+        error = check_raises(core, "shadows")
+        assert "outlived" in str(error)
+
+    def test_untracked_unresolved_branch_is_caught(self):
+        core = make_core()
+        victim_seq = None
+        for uop in core.rob:
+            if uop.inst.is_conditional_branch and not uop.branch_resolved:
+                victim_seq = uop.seq
+                break
+        if victim_seq is None:
+            pytest.skip("no unresolved branch in flight at the stop point")
+        core.shadows.branch_resolved(victim_seq)
+        error = check_raises(core, "shadows")
+        assert "casts no shadow" in str(error)
+
+
+class TestDoppelgangerInvariants:
+    def test_dropped_replay_is_caught(self):
+        core = make_core(scheme="dom+ap", instructions=900)
+        victim = next((uop for uop in core.lq if uop.in_flight), None)
+        if victim is None:
+            pytest.skip("no in-flight load at the stop point")
+        # A mispredicted preload must replay the real access before the
+        # load may complete; forge the "completed without replay" state.
+        victim.dl_predicted_address = victim.dl_predicted_address or 0x40
+        victim.dl_verified = True
+        victim.dl_correct = False
+        victim.dl_cancelled = False
+        victim.executed = False
+        victim.vp_active = False
+        victim.state = UopState.COMPLETED
+        error = check_raises(core, "doppelganger")
+        joined = " ".join(error.violations)
+        assert "dropped replay" in joined or "imbalance" in joined
+
+    def test_unverified_preload_consumption_is_caught(self):
+        core = make_core(scheme="dom+ap", instructions=900)
+        victim = next((uop for uop in core.lq if uop.in_flight), None)
+        if victim is None:
+            pytest.skip("no in-flight load at the stop point")
+        victim.dl_predicted_address = victim.dl_predicted_address or 0x40
+        victim.dl_used = True
+        victim.dl_correct = False
+        error = check_raises(core, "doppelganger")
+        assert "without a verified-correct prediction" in str(error) or (
+            "imbalance" in str(error)
+        )
+
+
+class TestSchemeInvariants:
+    def test_stt_taint_sanity(self):
+        core = make_core(scheme="stt")
+        victim = core.rob[-1]
+        victim.taint = victim.seq + 100  # tainted by the future
+        error = check_raises(core, "scheme")
+        assert "taint" in str(error)
+
+    def test_dom_delayed_load_touching_replacement_state(self):
+        core = make_core(scheme="dom", instructions=900)
+        victim = next((uop for uop in core.lq if uop.in_flight), None)
+        if victim is None:
+            pytest.skip("no in-flight load at the stop point")
+        victim.dom_delayed = True
+        victim.executed = False
+        victim.dom_touch_pending = True
+        error = check_raises(core, "scheme")
+        assert "replacement" in str(error) or "delayed" in str(error)
+
+
+class TestCrashDumps:
+    def test_violation_writes_dump_file(self, tmp_path):
+        core = make_core(dump_dir=tmp_path)
+        core.hierarchy.mshrs._outstanding[0xDEAD] = core.cycle + 10**9
+        error = check_raises(core, "mshr")
+        assert error.dump_path is not None
+        dump = tmp_path / error.dump_path.split("/")[-1]
+        assert dump.exists()
+        text = dump.read_text()
+        assert "pipeline occupancy" in text
+        assert "[mshr]" in text  # the violations section names the class
+        # The dump ends with the raw machine-readable snapshot.
+        json_part = text.split("raw snapshot (json)", 1)[1]
+        payload = json.loads(json_part[json_part.index("{") :])
+        assert payload["cycle"] == core.cycle
+        assert payload["program"] == "guardrail_smoke"
+
+    def test_no_dump_dir_means_no_path(self):
+        core = make_core()
+        core.iq_count += 1
+        error = check_raises(core, "rob")
+        assert error.dump_path is None
