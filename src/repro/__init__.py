@@ -41,6 +41,12 @@ from repro.memory import MemoryHierarchy
 from repro.pipeline import Core
 from repro.schemes import SCHEME_NAMES, SecureScheme, make_scheme
 
+# Imported for its side effect: registers the default guardrail provider
+# with repro.pipeline.hooks.  Python initializes this parent package
+# before any submodule, so even a direct `import repro.pipeline.core`
+# gets its observers wired.
+import repro.guardrails  # noqa: E402,F401  (side-effect import)
+
 __version__ = "1.0.0"
 
 

@@ -1,0 +1,154 @@
+"""The checked-in baseline of grandfathered findings.
+
+The baseline lets the linter ship with a clean exit on a tree that still
+carries *deliberate* violations: each entry names the rule, the file, the
+exact message, and a one-line human justification for keeping it.  A
+finding that matches an entry is reported as *baselined* and does not
+fail the run; an entry that matches nothing is reported as *stale* so
+baselines shrink over time instead of fossilizing.
+
+Matching ignores line numbers on purpose — unrelated edits move code —
+and compares the file by POSIX-path suffix so the baseline written at the
+repo root (``repro/memory/replacement.py``) matches however the tree is
+mounted or linted.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.analysis.finding import Finding
+from repro.common.errors import LintError
+
+BASELINE_VERSION = 1
+
+#: The baseline that ships inside the package (used by default so
+#: ``repro lint`` works from any directory, installed or in-tree).
+PACKAGED_BASELINE = Path(__file__).resolve().parent / "baseline.json"
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One grandfathered finding and why it is being kept."""
+
+    rule: str
+    path: str
+    message: str
+    justification: str = ""
+
+    def matches(self, finding: Finding) -> bool:
+        return (
+            finding.rule == self.rule
+            and finding.message == self.message
+            and _suffix_match(finding.posix_path, self.path)
+        )
+
+
+def _suffix_match(full: str, suffix: str) -> bool:
+    if full == suffix:
+        return True
+    return full.endswith("/" + suffix)
+
+
+@dataclass
+class Baseline:
+    """A loaded baseline file plus per-run match bookkeeping."""
+
+    entries: List[BaselineEntry] = field(default_factory=list)
+    source: str = "<empty>"
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except OSError as error:
+            raise LintError(f"cannot read baseline {path}: {error}") from error
+        except json.JSONDecodeError as error:
+            raise LintError(f"baseline {path} is not valid JSON: {error}") from error
+        raw_entries = payload.get("entries", [])
+        entries = []
+        for raw in raw_entries:
+            try:
+                entries.append(
+                    BaselineEntry(
+                        rule=raw["rule"],
+                        path=raw["path"],
+                        message=raw["message"],
+                        justification=raw.get("justification", ""),
+                    )
+                )
+            except (TypeError, KeyError) as error:
+                raise LintError(
+                    f"baseline {path}: malformed entry {raw!r}"
+                ) from error
+        return cls(entries=entries, source=str(path))
+
+    def partition(
+        self, findings: Sequence[Finding]
+    ) -> Tuple[List[Finding], List[Finding], List[BaselineEntry]]:
+        """Split findings into (active, baselined); also return stale entries."""
+        active: List[Finding] = []
+        baselined: List[Finding] = []
+        hits: Dict[BaselineEntry, int] = {entry: 0 for entry in self.entries}
+        for finding in findings:
+            matched = None
+            for entry in self.entries:
+                if entry.matches(finding):
+                    matched = entry
+                    break
+            if matched is None:
+                active.append(finding)
+            else:
+                hits[matched] += 1
+                baselined.append(finding)
+        stale = [entry for entry, count in hits.items() if count == 0]
+        return active, baselined, stale
+
+
+def write_baseline(
+    path: Path,
+    findings: Iterable[Finding],
+    previous: Baseline,
+) -> int:
+    """Write ``findings`` as the new baseline, keeping old justifications.
+
+    New entries get a ``TODO: justify`` placeholder so a review can spot
+    them; returns the number of entries written.
+    """
+    carried = {
+        (entry.rule, entry.path, entry.message): entry.justification
+        for entry in previous.entries
+    }
+    entries = []
+    seen = set()
+    for finding in sorted(findings, key=Finding.sort_key):
+        rel = _baseline_path(finding.posix_path)
+        key = (finding.rule, rel, finding.message)
+        if key in seen:
+            continue
+        seen.add(key)
+        entries.append(
+            {
+                "rule": finding.rule,
+                "path": rel,
+                "message": finding.message,
+                "justification": carried.get(key, "TODO: justify"),
+            }
+        )
+    payload = {"version": BASELINE_VERSION, "entries": entries}
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return len(entries)
+
+
+def _baseline_path(posix_path: str) -> str:
+    """Store paths from the last ``repro/`` component so baselines are
+    invocation-directory independent."""
+    marker = "repro/"
+    index = posix_path.rfind(marker)
+    # Guard against a path *ending* in repro/ (a directory, not a file).
+    if index >= 0 and len(posix_path) > index + len(marker):
+        return posix_path[index:]
+    return posix_path

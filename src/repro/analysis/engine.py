@@ -1,0 +1,109 @@
+"""The lint engine: file collection, rule dispatch, suppression, baseline.
+
+One :class:`LintRunner` run walks every ``*.py`` file under the given
+paths, parses each once, hands the module to every active rule, then
+filters the collected findings through inline ``# repro: noqa[...]``
+markers and the baseline.  The result is a :class:`LintReport` whose
+``ok`` property is the CI gate.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.analysis.baseline import Baseline, BaselineEntry
+from repro.analysis.finding import Finding
+from repro.analysis.registry import ModuleContext, Rule, resolve_rules
+from repro.analysis.suppressions import is_suppressed, suppressions_for_source
+from repro.common.errors import LintUsageError
+
+
+@dataclass
+class LintReport:
+    """Outcome of one lint run."""
+
+    findings: List[Finding] = field(default_factory=list)
+    baselined: List[Finding] = field(default_factory=list)
+    suppressed: List[Finding] = field(default_factory=list)
+    stale_baseline: List[BaselineEntry] = field(default_factory=list)
+    files_scanned: int = 0
+    rules_run: Tuple[str, ...] = ()
+    baseline_source: str = "<none>"
+
+    @property
+    def ok(self) -> bool:
+        """Clean iff no *active* finding survived noqa + baseline."""
+        return not self.findings
+
+    @property
+    def exit_code(self) -> int:
+        return 0 if self.ok else 1
+
+    def all_findings(self) -> List[Finding]:
+        """Active + baselined findings (what ``--update-baseline`` writes)."""
+        return sorted([*self.findings, *self.baselined], key=Finding.sort_key)
+
+
+class LintRunner:
+    """Configured lint pass: rules × paths → :class:`LintReport`."""
+
+    def __init__(
+        self,
+        select: Iterable[str] = (),
+        ignore: Iterable[str] = (),
+        baseline: Optional[Baseline] = None,
+    ):
+        self.rules: Tuple[Rule, ...] = resolve_rules(select, ignore)
+        self.baseline = baseline if baseline is not None else Baseline()
+
+    def run(self, paths: Sequence[os.PathLike]) -> LintReport:
+        report = LintReport(
+            rules_run=tuple(rule.rule_id for rule in self.rules),
+            baseline_source=self.baseline.source,
+        )
+        raw: List[Finding] = []
+        suppressed: List[Finding] = []
+        for path, display in collect_files(paths):
+            ctx = ModuleContext.parse(path, display)
+            report.files_scanned += 1
+            noqa = suppressions_for_source(ctx.lines)
+            for rule in self.rules:
+                for finding in rule.check(ctx):
+                    if is_suppressed(noqa, finding.line, finding.rule):
+                        suppressed.append(finding)
+                    else:
+                        raw.append(finding)
+        active, baselined, stale = self.baseline.partition(
+            sorted(raw, key=Finding.sort_key)
+        )
+        report.findings = active
+        report.baselined = baselined
+        report.suppressed = sorted(suppressed, key=Finding.sort_key)
+        report.stale_baseline = stale
+        return report
+
+
+def collect_files(paths: Sequence[os.PathLike]) -> List[Tuple[Path, str]]:
+    """Expand files/directories into (path, display_path) pairs.
+
+    Directories are walked recursively for ``*.py`` (skipping
+    ``__pycache__``); the display path keeps whatever form the caller
+    passed, so messages stay short and clickable from the invocation
+    directory.  A missing path is a usage error.
+    """
+    out: List[Tuple[Path, str]] = []
+    for raw in paths:
+        root = Path(raw)
+        if root.is_file():
+            out.append((root, str(raw)))
+        elif root.is_dir():
+            for file in sorted(root.rglob("*.py")):
+                if "__pycache__" in file.parts:
+                    continue
+                out.append((file, str(file)))
+        else:
+            raise LintUsageError(f"no such file or directory: {raw}")
+    return out

@@ -1,0 +1,42 @@
+"""The unit of reprolint output: one finding at one source location."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation, pinned to a file/line/column.
+
+    ``path`` is stored as given to the engine (normally relative to the
+    invocation directory); baseline matching uses a *suffix* comparison on
+    the POSIX form so a baseline written at the repo root still matches
+    when the tree is linted from elsewhere.
+    """
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    @property
+    def posix_path(self) -> str:
+        return self.path.replace("\\", "/")
+
+    def sort_key(self) -> tuple:
+        return (self.posix_path, self.line, self.col, self.rule)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "rule": self.rule,
+            "path": self.posix_path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"

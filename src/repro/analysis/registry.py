@@ -1,0 +1,147 @@
+"""Rule interface and registry.
+
+A rule is a stateless object that inspects one parsed module at a time
+and yields :class:`~repro.analysis.finding.Finding` objects.  Rules
+register themselves with the :func:`register` decorator at import time;
+:mod:`repro.analysis.rules` imports every rule module so that loading the
+package populates the registry.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import ClassVar, Dict, Iterable, Iterator, List, Tuple, Type
+
+from repro.common.errors import LintError, LintUsageError
+
+
+@dataclass
+class ModuleContext:
+    """Everything a rule may look at for one source file."""
+
+    path: Path
+    display_path: str
+    module: str
+    tree: ast.Module
+    source: str
+    lines: List[str] = field(default_factory=list)
+
+    @classmethod
+    def parse(cls, path: Path, display_path: str) -> "ModuleContext":
+        try:
+            source = path.read_text(encoding="utf-8")
+        except OSError as error:
+            raise LintError(f"cannot read {path}: {error}") from error
+        try:
+            tree = ast.parse(source, filename=str(path))
+        except SyntaxError as error:
+            raise LintError(
+                f"{display_path}:{error.lineno or 0}: syntax error: {error.msg}"
+            ) from error
+        return cls(
+            path=path,
+            display_path=display_path,
+            module=module_name_for_path(path),
+            tree=tree,
+            source=source,
+            lines=source.splitlines(),
+        )
+
+    def in_package(self, *prefixes: str) -> bool:
+        """Is this module inside any of the given dotted packages?"""
+        for prefix in prefixes:
+            if self.module == prefix or self.module.startswith(prefix + "."):
+                return True
+        return False
+
+
+def module_name_for_path(path: Path) -> str:
+    """Best-effort dotted module name for ``path``.
+
+    Everything from the *last* path component named ``repro`` onward is
+    used, so both the installed tree (``src/repro/memory/cache.py``) and
+    test fixtures laid out as ``fixtures/<case>/repro/...`` resolve to
+    ``repro.*`` names.  Files outside any ``repro`` tree fall back to
+    their stem.
+    """
+    parts = list(path.resolve().parts)
+    anchor = None
+    for index, part in enumerate(parts):
+        if part == "repro":
+            anchor = index
+    if anchor is None:
+        return path.stem
+    dotted = list(parts[anchor:])
+    dotted[-1] = Path(dotted[-1]).stem
+    if dotted[-1] == "__init__":
+        dotted.pop()
+    return ".".join(dotted)
+
+
+class Rule:
+    """Base class for reprolint rules.
+
+    Subclasses set the class attributes and implement :meth:`check`.
+    ``rationale`` names the runtime bug class the rule prevents; it is
+    surfaced by ``repro lint --list-rules`` and the docs.
+    """
+
+    rule_id: ClassVar[str] = ""
+    name: ClassVar[str] = ""
+    rationale: ClassVar[str] = ""
+
+    def check(self, ctx: ModuleContext) -> Iterator:
+        raise NotImplementedError  # repro: noqa[RPL301] - abstract method idiom
+
+    def finding(self, ctx: ModuleContext, node: ast.AST, message: str):
+        from repro.analysis.finding import Finding
+
+        return Finding(
+            rule=self.rule_id,
+            path=ctx.display_path,
+            line=getattr(node, "lineno", 0),
+            col=getattr(node, "col_offset", 0) + 1,
+            message=message,
+        )
+
+
+_REGISTRY: Dict[str, Rule] = {}
+
+
+def register(rule_cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding a rule (by ``rule_id``) to the registry."""
+    if not rule_cls.rule_id:
+        raise LintError(f"rule {rule_cls.__name__} has no rule_id")
+    if rule_cls.rule_id in _REGISTRY:
+        raise LintError(f"duplicate rule id {rule_cls.rule_id}")
+    _REGISTRY[rule_cls.rule_id] = rule_cls()
+    return rule_cls
+
+
+def all_rules() -> Dict[str, Rule]:
+    """The registry, populated by importing :mod:`repro.analysis.rules`."""
+    import repro.analysis.rules  # noqa: F401  (registers on import)
+
+    return dict(_REGISTRY)
+
+
+def resolve_rules(
+    select: Iterable[str] = (), ignore: Iterable[str] = ()
+) -> Tuple[Rule, ...]:
+    """The active rule set after ``--select`` / ``--ignore`` filtering.
+
+    Unknown rule ids are a usage error (exit code 2 at the CLI) so a typo
+    in CI configuration fails loudly instead of silently linting nothing.
+    """
+    rules = all_rules()
+    selected = list(select) or sorted(rules)
+    unknown = [rid for rid in [*selected, *ignore] if rid not in rules]
+    if unknown:
+        raise LintUsageError(
+            f"unknown rule id(s): {', '.join(sorted(set(unknown)))}; "
+            f"known: {', '.join(sorted(rules))}"
+        )
+    ignored = set(ignore)
+    return tuple(rules[rid] for rid in selected if rid not in ignored)

@@ -1,0 +1,44 @@
+"""Text and JSON renderings of a :class:`~repro.analysis.engine.LintReport`."""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.engine import LintReport
+
+
+def render_text(report: LintReport) -> str:
+    """Human-readable report: one line per finding plus a summary."""
+    lines = [finding.render() for finding in report.findings]
+    if report.stale_baseline:
+        lines.append("")
+        lines.append("stale baseline entries (fixed or moved — remove them):")
+        for entry in report.stale_baseline:
+            lines.append(f"  {entry.rule} {entry.path}: {entry.message}")
+    lines.append("")
+    verdict = "clean" if report.ok else f"{len(report.findings)} finding(s)"
+    lines.append(
+        f"reprolint: {verdict} — {report.files_scanned} file(s), "
+        f"{len(report.rules_run)} rule(s), {len(report.baselined)} baselined, "
+        f"{len(report.suppressed)} suppressed inline"
+    )
+    return "\n".join(lines)
+
+
+def render_json(report: LintReport) -> str:
+    """Machine-readable report (the CI artifact on failure)."""
+    payload = {
+        "version": 1,
+        "ok": report.ok,
+        "files_scanned": report.files_scanned,
+        "rules_run": list(report.rules_run),
+        "baseline": report.baseline_source,
+        "findings": [finding.to_dict() for finding in report.findings],
+        "baselined": [finding.to_dict() for finding in report.baselined],
+        "suppressed": [finding.to_dict() for finding in report.suppressed],
+        "stale_baseline": [
+            {"rule": entry.rule, "path": entry.path, "message": entry.message}
+            for entry in report.stale_baseline
+        ],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

@@ -1,0 +1,10 @@
+"""Rule modules; importing this package populates the rule registry."""
+
+from repro.analysis.rules import (  # noqa: F401  (imported for side effects)
+    determinism,
+    fingerprint,
+    hygiene,
+    layering,
+    typed_errors,
+    worker_safety,
+)

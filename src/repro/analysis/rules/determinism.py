@@ -1,0 +1,229 @@
+"""Determinism rules (RPL101/RPL102/RPL103).
+
+The result cache keys runs purely by (benchmark, scheme, windows, config
+fingerprint) and the parallel sweep promises bit-identical results for
+``jobs=1`` and ``jobs=N`` — both rest on the simulator being a pure
+function of its inputs.  Nondeterminism inside the simulated machine
+(wall-clock reads, unseeded randomness, iteration order that depends on
+hashing or allocation addresses) silently breaks that contract: cached
+numbers stop being reproducible without any test failing.
+
+These rules apply only to the simulated-machine packages
+(:data:`SIMULATOR_SCOPE`); the harness may time things and workloads may
+use seeded randomness to *build* programs.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, Set
+
+from repro.analysis.registry import ModuleContext, Rule, register
+from repro.analysis.rules._util import dotted_name
+
+#: Packages whose code executes inside the simulated machine.
+SIMULATOR_SCOPE = (
+    "repro.pipeline",
+    "repro.memory",
+    "repro.schemes",
+    "repro.predictors",
+    "repro.doppelganger",
+)
+
+#: Modules whose mere presence in simulator code is suspect.
+NONDETERMINISTIC_MODULES = {"random", "time", "secrets", "uuid"}
+
+#: (module, attribute) calls that are always nondeterministic.  The
+#: ``random.Random`` *constructor* is exempt: a seeded instance is
+#: deterministic by construction (replacement policies use one).
+_EXEMPT_CALLS = {("random", "Random")}
+
+
+@register
+class NondeterministicCallRule(Rule):
+    rule_id = "RPL101"
+    name = "nondeterministic-call"
+    rationale = (
+        "unseeded randomness or wall-clock reads in simulator code make "
+        "results differ run-to-run, poisoning the sweep result cache and "
+        "the jobs=1 == jobs=N bit-identity guarantee"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator:
+        if not ctx.in_package(*SIMULATOR_SCOPE):
+            return
+        # First pass: aliases, so `import time as _t; _t.time()` is still
+        # resolved to the real module on the second pass.
+        aliases: Dict[str, str] = {}
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    root = alias.name.split(".")[0]
+                    if root in NONDETERMINISTIC_MODULES:
+                        aliases[alias.asname or root] = root
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    root = alias.name.split(".")[0]
+                    if root in NONDETERMINISTIC_MODULES:
+                        yield self.finding(
+                            ctx,
+                            node,
+                            f"import of nondeterministic module '{root}' in "
+                            f"simulator code (seeded random.Random instances "
+                            f"are allowed — suppress or baseline with a "
+                            f"justification)",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                root = (node.module or "").split(".")[0]
+                if root in NONDETERMINISTIC_MODULES:
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"import from nondeterministic module '{root}' in "
+                        f"simulator code",
+                    )
+            elif isinstance(node, ast.Call):
+                name = dotted_name(node.func)
+                if name is None or "." not in name:
+                    continue
+                head, attr = name.split(".", 1)
+                module = aliases.get(head, head)
+                if (
+                    module in NONDETERMINISTIC_MODULES
+                    and (module, attr) not in _EXEMPT_CALLS
+                ):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"call to nondeterministic '{module}.{attr}()' in "
+                        f"simulator code breaks run-to-run reproducibility",
+                    )
+
+
+def _is_set_display(node: ast.AST) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        return dotted_name(node.func) in ("set", "frozenset") and True
+    return False
+
+
+def _annotation_is_set(annotation: ast.AST) -> bool:
+    text = ast.unparse(annotation)
+    head = text.split("[", 1)[0].strip()
+    return head.split(".")[-1] in ("Set", "FrozenSet", "set", "frozenset")
+
+
+class _SetSymbols(ast.NodeVisitor):
+    """Collects names (``x``) and self-attributes (``self.x``) that are
+    bound to set values or annotated as sets anywhere in the module."""
+
+    def __init__(self) -> None:
+        self.names: Set[str] = set()
+
+    def _record_target(self, target: ast.AST) -> None:
+        if isinstance(target, ast.Name):
+            self.names.add(target.id)
+        elif isinstance(target, ast.Attribute) and isinstance(
+            target.value, ast.Name
+        ) and target.value.id == "self":
+            self.names.add(f"self.{target.attr}")
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        if _is_set_display(node.value):
+            for target in node.targets:
+                self._record_target(target)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if _annotation_is_set(node.annotation) or (
+            node.value is not None and _is_set_display(node.value)
+        ):
+            self._record_target(node.target)
+        self.generic_visit(node)
+
+
+@register
+class SetIterationRule(Rule):
+    rule_id = "RPL102"
+    name = "set-iteration"
+    rationale = (
+        "iterating a set in simulator code visits elements in hash order, "
+        "which for str/object elements varies between interpreter "
+        "invocations — wrap the iteration in sorted() or use an "
+        "insertion-ordered structure"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator:
+        if not ctx.in_package(*SIMULATOR_SCOPE):
+            return
+        symbols = _SetSymbols()
+        symbols.visit(ctx.tree)
+
+        def names_set(expr: ast.AST) -> bool:
+            if _is_set_display(expr):
+                return True
+            if isinstance(expr, ast.Name):
+                return expr.id in symbols.names
+            if isinstance(expr, ast.Attribute) and isinstance(
+                expr.value, ast.Name
+            ) and expr.value.id == "self":
+                return f"self.{expr.attr}" in symbols.names
+            return False
+
+        for node in ast.walk(ctx.tree):
+            iters = []
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                iters.append(node.iter)
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+                iters.extend(gen.iter for gen in node.generators)
+            elif isinstance(node, ast.Call) and dotted_name(node.func) in (
+                "list",
+                "tuple",
+            ):
+                iters.extend(node.args[:1])
+            for expr in iters:
+                # sorted(...) fixes the order; anything through it is fine.
+                if isinstance(expr, ast.Call) and dotted_name(expr.func) == "sorted":
+                    continue
+                if names_set(expr):
+                    yield self.finding(
+                        ctx,
+                        expr,
+                        "iteration over a bare set has hash-dependent order; "
+                        "sort it (sorted(...)) or keep an ordered structure",
+                    )
+
+
+@register
+class IdOrderingRule(Rule):
+    rule_id = "RPL103"
+    name = "id-ordering"
+    rationale = (
+        "id() is an allocation address: ordering, keying, or hashing on "
+        "it differs between runs and between jobs=1 and jobs=N workers"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator:
+        if not ctx.in_package(*SIMULATOR_SCOPE):
+            return
+        for node in ast.walk(ctx.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "id"
+            ):
+                yield self.finding(
+                    ctx,
+                    node,
+                    "id() in simulator code is allocation-order dependent; "
+                    "key on seq numbers or another deterministic identity",
+                )
+            elif isinstance(node, ast.keyword) and node.arg == "key":
+                if isinstance(node.value, ast.Name) and node.value.id == "id":
+                    yield self.finding(
+                        ctx,
+                        node.value,
+                        "sorting with key=id orders by allocation address",
+                    )

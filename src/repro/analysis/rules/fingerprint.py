@@ -1,0 +1,188 @@
+"""Fingerprint-completeness rule (RPL201).
+
+PR 1's worst bug was a stale-memo: the sweep cache keyed runs by a config
+fingerprint that silently omitted fields, so changing those knobs
+returned cached results from a *different* experiment.  The fingerprint
+now serializes the whole config via ``asdict`` and drops fields only
+through explicit ``payload.pop("<field>", ...)`` calls, each of which
+must be sanctioned by the module-level ``FINGERPRINT_EXCLUDED_FIELDS``
+constant.  This rule statically enforces that three-way agreement:
+
+* every popped field is on the exclusion list (deleting a list entry
+  while the pop remains fires — the exclusion must stay deliberate);
+* every exclusion-list entry corresponds to a pop (a stale entry would
+  claim a field is excluded when it actually keys the cache);
+* every exclusion-list entry names a real field of the root config
+  dataclass (renames can't leave ghosts behind);
+* the fingerprint's payload provably covers every field, i.e. it comes
+  from ``asdict``/``config_to_dict`` — a hand-built dict cannot be
+  verified field-by-field and is rejected outright.
+
+The rule fires on any module that defines ``config_fingerprint`` (which
+is what lets fixture tests exercise it without the real config module).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Set
+
+from repro.analysis.registry import ModuleContext, Rule, register
+from repro.analysis.rules._util import (
+    dataclass_field_names,
+    dotted_name,
+    is_dataclass_def,
+    string_elements,
+)
+
+EXCLUSION_CONSTANT = "FINGERPRINT_EXCLUDED_FIELDS"
+FINGERPRINT_FUNCTION = "config_fingerprint"
+ROOT_CONFIG_CLASS = "SystemConfig"
+_SERIALIZERS = ("asdict", "dataclasses.asdict", "config_to_dict")
+
+
+@register
+class FingerprintCompletenessRule(Rule):
+    rule_id = "RPL201"
+    name = "fingerprint-completeness"
+    rationale = (
+        "a config field missing from the cache fingerprint makes two "
+        "different experiments share a cache entry (the PR-1 stale-memo "
+        "bug); every dropped field must be a deliberate, listed exclusion"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator:
+        fingerprint = _find_function(ctx.tree, FINGERPRINT_FUNCTION)
+        if fingerprint is None:
+            return
+
+        excluded = _find_exclusion_constant(ctx.tree)
+        if excluded is None:
+            yield self.finding(
+                ctx,
+                fingerprint,
+                f"{FINGERPRINT_FUNCTION} exists but no statically-readable "
+                f"{EXCLUSION_CONSTANT} constant of string literals is "
+                f"defined alongside it",
+            )
+            return
+
+        payload_var = _payload_variable(fingerprint)
+        if payload_var is None:
+            yield self.finding(
+                ctx,
+                fingerprint,
+                f"{FINGERPRINT_FUNCTION} does not build its payload via "
+                f"asdict/config_to_dict, so field coverage cannot be "
+                f"statically verified",
+            )
+            return
+
+        pops = _literal_pops(fingerprint, payload_var)
+        for node, name in pops:
+            if name is None:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"{FINGERPRINT_FUNCTION} drops a payload field with a "
+                    f"non-literal key; exclusions must be string literals "
+                    f"sanctioned by {EXCLUSION_CONSTANT}",
+                )
+        popped = {name for _, name in pops if name is not None}
+
+        for node, name in pops:
+            if name is not None and name not in excluded:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"field '{name}' is dropped from the fingerprint but is "
+                    f"not on {EXCLUSION_CONSTANT} — either stop dropping it "
+                    f"or add it to the exclusion list with a rationale",
+                )
+        for name in sorted(excluded - popped):
+            yield self.finding(
+                ctx,
+                fingerprint,
+                f"{EXCLUSION_CONSTANT} lists '{name}' but "
+                f"{FINGERPRINT_FUNCTION} never drops it — the field is "
+                f"actually fingerprinted; remove the stale entry",
+            )
+
+        root_fields = _root_config_fields(ctx.tree)
+        if root_fields is not None:
+            for name in sorted(excluded - set(root_fields)):
+                yield self.finding(
+                    ctx,
+                    fingerprint,
+                    f"{EXCLUSION_CONSTANT} lists '{name}' which is not a "
+                    f"field of {ROOT_CONFIG_CLASS}",
+                )
+
+
+def _find_function(tree: ast.Module, name: str) -> Optional[ast.FunctionDef]:
+    for node in tree.body:
+        if isinstance(node, ast.FunctionDef) and node.name == name:
+            return node
+    return None
+
+
+def _find_exclusion_constant(tree: ast.Module) -> Optional[Set[str]]:
+    for node in tree.body:
+        if isinstance(node, ast.Assign):
+            targets = [t.id for t in node.targets if isinstance(t, ast.Name)]
+            if EXCLUSION_CONSTANT in targets:
+                return string_elements(node.value)
+        elif (
+            isinstance(node, ast.AnnAssign)
+            and isinstance(node.target, ast.Name)
+            and node.target.id == EXCLUSION_CONSTANT
+            and node.value is not None
+        ):
+            return string_elements(node.value)
+    return None
+
+
+def _payload_variable(fn: ast.FunctionDef) -> Optional[str]:
+    """The local assigned from asdict/config_to_dict, if any."""
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Assign) and isinstance(node.value, ast.Call):
+            callee = dotted_name(node.value.func)
+            if callee in _SERIALIZERS:
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        return target.id
+    return None
+
+
+def _literal_pops(fn: ast.FunctionDef, payload_var: str) -> List:
+    """Every ``payload.pop(<key>, ...)`` as (node, literal-or-None)."""
+    out = []
+    for node in ast.walk(fn):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if not (
+            isinstance(func, ast.Attribute)
+            and func.attr in ("pop", "__delitem__")
+            and isinstance(func.value, ast.Name)
+            and func.value.id == payload_var
+        ):
+            continue
+        if node.args and isinstance(node.args[0], ast.Constant) and isinstance(
+            node.args[0].value, str
+        ):
+            out.append((node, node.args[0].value))
+        else:
+            out.append((node, None))
+    return out
+
+
+def _root_config_fields(tree: ast.Module) -> Optional[List[str]]:
+    for node in tree.body:
+        if (
+            isinstance(node, ast.ClassDef)
+            and node.name == ROOT_CONFIG_CLASS
+            and is_dataclass_def(node)
+        ):
+            return dataclass_field_names(node)
+    return None

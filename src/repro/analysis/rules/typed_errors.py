@@ -1,0 +1,111 @@
+"""Typed-errors rule (RPL301).
+
+PR 2's fault-tolerant sweep classifies worker failures as *deterministic*
+(a :class:`~repro.common.errors.ReproError` — retrying is pointless, the
+simulator is a pure function) or *transient* (anything else — retry with
+backoff).  A simulator bug surfacing as a bare ``ValueError`` is
+therefore retried as if it were a flaky environment problem, wasting a
+retry budget and mislabelling the failure manifest.  Every ``raise``
+under ``src/repro/`` must raise a ``ReproError`` subclass so the
+classification stays sound.
+
+Resolution is conservative: only *provable* violations fire — raising a
+builtin exception by name.  Re-raises (``raise``), raising variables, and
+names this rule cannot resolve are skipped rather than guessed at.
+"""
+
+from __future__ import annotations
+
+import ast
+import builtins
+from typing import Iterator, Optional, Set
+
+from repro.analysis.registry import ModuleContext, Rule, register
+from repro.analysis.rules._util import dotted_name, terminal_name
+
+#: Builtin exception names (anything raisable from builtins).
+BUILTIN_EXCEPTIONS: Set[str] = {
+    name
+    for name in dir(builtins)
+    if isinstance(getattr(builtins, name), type)
+    and issubclass(getattr(builtins, name), BaseException)
+}
+
+
+def _known_repro_errors() -> Set[str]:
+    """Names of every ReproError subclass in the live error module."""
+    from repro.common import errors as errors_module
+
+    known = set()
+    for name in dir(errors_module):
+        obj = getattr(errors_module, name)
+        if isinstance(obj, type) and issubclass(obj, errors_module.ReproError):
+            known.add(name)
+    return known
+
+
+def _local_error_classes(tree: ast.Module, known: Set[str]) -> Set[str]:
+    """Classes in this module deriving (transitively) from a known error."""
+    local = set(known)
+    changed = True
+    while changed:
+        changed = False
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.ClassDef) or node.name in local:
+                continue
+            for base in node.bases:
+                base_name = terminal_name(base)
+                if base_name in local:
+                    local.add(node.name)
+                    changed = True
+                    break
+    return local
+
+
+@register
+class TypedRaiseRule(Rule):
+    rule_id = "RPL301"
+    name = "untyped-raise"
+    rationale = (
+        "raising a builtin exception from simulator code defeats the "
+        "deterministic-vs-transient failure classification of the "
+        "parallel sweep's retry logic (the PR-2 bug class); raise a "
+        "ReproError subclass from repro.common.errors instead"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator:
+        known = _local_error_classes(ctx.tree, _known_repro_errors())
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Raise) or node.exc is None:
+                continue
+            name = self._raised_class_name(node.exc)
+            if name is None:
+                continue
+            if name in known:
+                continue
+            if name in BUILTIN_EXCEPTIONS:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"raise of builtin '{name}' — raise a ReproError "
+                    f"subclass so sweep retry classification stays typed",
+                )
+
+    @staticmethod
+    def _raised_class_name(exc: ast.AST) -> Optional[str]:
+        """The class name being raised, when statically resolvable.
+
+        ``raise X(...)`` and ``raise X`` resolve to ``X``;
+        ``raise errors.X(...)`` resolves to ``X``.  Anything else —
+        variables holding exception instances, calls returning
+        exceptions — is unresolvable and skipped.
+        """
+        target = exc.func if isinstance(exc, ast.Call) else exc
+        name = dotted_name(target)
+        if name is None:
+            return None
+        leaf = name.split(".")[-1]
+        # Heuristic: class names are CapWords; `raise error` is a variable.
+        if not leaf[:1].isupper():
+            return None
+        return leaf

@@ -1,0 +1,233 @@
+"""Worker-safety rules (RPL501/RPL502).
+
+The parallel sweep pickles callables by qualified name into a
+``ProcessPoolExecutor``.  A lambda, nested function, or bound method
+submitted to the pool fails only *at runtime*, and only on spawn-based
+platforms — exactly the kind of works-on-my-machine breakage a fleet CI
+catches late.  And a worker entry point that mutates module-level state
+silently diverges between ``jobs=1`` (shared interpreter) and ``jobs=N``
+(per-process copies), the other half of the bit-identity guarantee.
+
+Both rules activate only in modules that use ``ProcessPoolExecutor``;
+thread pools have neither constraint.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set
+
+from repro.analysis.registry import ModuleContext, Rule, register
+from repro.analysis.rules._util import dotted_name, module_level_names
+
+#: Method names that mutate their receiver in place.
+_MUTATORS = {
+    "append",
+    "add",
+    "update",
+    "pop",
+    "popleft",
+    "remove",
+    "discard",
+    "extend",
+    "insert",
+    "clear",
+    "setdefault",
+    "appendleft",
+}
+
+
+def _uses_process_pool(tree: ast.Module) -> bool:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom):
+            if any(a.name == "ProcessPoolExecutor" for a in node.names):
+                return True
+        elif isinstance(node, ast.Attribute):
+            if node.attr == "ProcessPoolExecutor":
+                return True
+    return False
+
+
+def _submit_calls(tree: ast.Module) -> List[ast.Call]:
+    return [
+        node
+        for node in ast.walk(tree)
+        if isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr == "submit"
+    ]
+
+
+def _nested_defs(tree: ast.Module) -> Set[str]:
+    """Names of functions defined anywhere *below* module level."""
+    nested: Set[str] = set()
+    for top in ast.walk(tree):
+        if not isinstance(top, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            continue
+        for node in ast.walk(top):
+            if node is top:
+                continue
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                nested.add(node.name)
+    return nested
+
+
+@register
+class PicklableSubmitRule(Rule):
+    rule_id = "RPL501"
+    name = "unpicklable-submit"
+    rationale = (
+        "ProcessPoolExecutor pickles submitted callables by qualified "
+        "name; lambdas, nested functions, and bound methods break at "
+        "runtime (and only on spawn platforms) — submit a module-level "
+        "function"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator:
+        if not _uses_process_pool(ctx.tree):
+            return
+        top_level = module_level_names(ctx.tree)
+        nested = _nested_defs(ctx.tree)
+        for call in _submit_calls(ctx.tree):
+            if not call.args:
+                continue
+            target = call.args[0]
+            if isinstance(target, ast.Lambda):
+                yield self.finding(
+                    ctx,
+                    target,
+                    "lambda submitted to a process pool is not picklable; "
+                    "use a module-level function",
+                )
+            elif isinstance(target, ast.Attribute):
+                yield self.finding(
+                    ctx,
+                    target,
+                    f"'{dotted_name(target) or target.attr}' submitted to a "
+                    f"process pool looks like a bound method or nested "
+                    f"attribute; submit a module-level function",
+                )
+            elif isinstance(target, ast.Name):
+                if target.id in nested and target.id not in top_level:
+                    yield self.finding(
+                        ctx,
+                        target,
+                        f"'{target.id}' is defined inside a function; "
+                        f"process-pool workers must be module-level "
+                        f"(picklable by qualified name)",
+                    )
+
+
+@register
+class WorkerGlobalMutationRule(Rule):
+    rule_id = "RPL502"
+    name = "worker-global-mutation"
+    rationale = (
+        "a worker entry point that mutates module-level state behaves "
+        "differently inline (jobs=1, shared interpreter) and pooled "
+        "(jobs=N, per-process copies), silently breaking the "
+        "bit-identity guarantee between the two"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator:
+        if not _uses_process_pool(ctx.tree):
+            return
+        worker_names = self._worker_entry_points(ctx.tree)
+        if not worker_names:
+            return
+        module_funcs: Dict[str, ast.FunctionDef] = {
+            node.name: node
+            for node in ctx.tree.body
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        }
+        module_vars = self._module_variables(ctx.tree)
+        for name in sorted(worker_names):
+            fn = module_funcs.get(name)
+            if fn is None:
+                continue
+            yield from self._check_worker(ctx, fn, module_vars)
+
+    @staticmethod
+    def _worker_entry_points(tree: ast.Module) -> Set[str]:
+        names: Set[str] = set()
+        for call in _submit_calls(tree):
+            if call.args and isinstance(call.args[0], ast.Name):
+                names.add(call.args[0].id)
+        return names
+
+    @staticmethod
+    def _module_variables(tree: ast.Module) -> Set[str]:
+        """Module-level *data* bindings (not functions/classes/imports)."""
+        out: Set[str] = set()
+        for node in tree.body:
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        out.add(target.id)
+            elif isinstance(node, ast.AnnAssign) and isinstance(
+                node.target, ast.Name
+            ):
+                out.add(node.target.id)
+        return out
+
+    def _check_worker(
+        self, ctx: ModuleContext, fn: ast.FunctionDef, module_vars: Set[str]
+    ) -> Iterator:
+        local_shadows: Set[str] = {arg.arg for arg in fn.args.args}
+        for node in ast.walk(fn):
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        local_shadows.add(target.id)
+        for node in ast.walk(fn):
+            if isinstance(node, ast.Global):
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"worker '{fn.name}' declares global "
+                    f"{', '.join(node.names)}; workers must not mutate "
+                    f"module-level state",
+                )
+            elif isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = (
+                    node.targets if isinstance(node, ast.Assign) else [node.target]
+                )
+                for target in targets:
+                    root = self._root_name(target)
+                    if (
+                        root is not None
+                        and root in module_vars
+                        and root not in local_shadows
+                        and not isinstance(target, ast.Name)
+                    ):
+                        yield self.finding(
+                            ctx,
+                            node,
+                            f"worker '{fn.name}' mutates module-level "
+                            f"'{root}'",
+                        )
+            elif isinstance(node, ast.Call) and isinstance(
+                node.func, ast.Attribute
+            ):
+                receiver = node.func.value
+                if (
+                    isinstance(receiver, ast.Name)
+                    and node.func.attr in _MUTATORS
+                    and receiver.id in module_vars
+                    and receiver.id not in local_shadows
+                ):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"worker '{fn.name}' calls mutating "
+                        f"'{receiver.id}.{node.func.attr}()' on "
+                        f"module-level state",
+                    )
+
+    @staticmethod
+    def _root_name(target: ast.AST) -> Optional[str]:
+        while isinstance(target, (ast.Attribute, ast.Subscript)):
+            target = target.value
+        if isinstance(target, ast.Name):
+            return target.id
+        return None

@@ -1,0 +1,50 @@
+"""Inline suppression comments: ``# repro: noqa[RULE-ID]``.
+
+A finding is suppressed when the physical line it is reported on carries
+a marker naming its rule id (``# repro: noqa[RPL101]``, several ids
+separated by commas) or a blanket marker (``# repro: noqa``).  Blanket
+markers are for migration shims only — prefer naming the rule so a new
+violation on the same line still fires.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, FrozenSet, List, Optional
+
+_NOQA = re.compile(
+    r"#\s*repro:\s*noqa(?:\[(?P<ids>[A-Za-z0-9_\-, ]+)\])?", re.IGNORECASE
+)
+
+#: Marker value meaning "every rule is suppressed on this line".
+ALL_RULES: FrozenSet[str] = frozenset({"*"})
+
+
+def suppressions_for_source(lines: List[str]) -> Dict[int, FrozenSet[str]]:
+    """Map 1-based line numbers to the rule ids suppressed on that line."""
+    table: Dict[int, FrozenSet[str]] = {}
+    for number, line in enumerate(lines, start=1):
+        ids = suppressed_ids(line)
+        if ids is not None:
+            table[number] = ids
+    return table
+
+
+def suppressed_ids(line: str) -> Optional[FrozenSet[str]]:
+    """The rule ids a single source line suppresses, if any."""
+    match = _NOQA.search(line)
+    if match is None:
+        return None
+    ids = match.group("ids")
+    if ids is None:
+        return ALL_RULES
+    return frozenset(part.strip().upper() for part in ids.split(",") if part.strip())
+
+
+def is_suppressed(
+    table: Dict[int, FrozenSet[str]], line: int, rule_id: str
+) -> bool:
+    ids = table.get(line)
+    if ids is None:
+        return False
+    return ids is ALL_RULES or "*" in ids or rule_id.upper() in ids

@@ -23,6 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Tuple
 
+from repro.common.errors import ConfigError
 from repro.isa.builder import CodeBuilder
 from repro.isa.program import Program
 from repro.attacks.observer import PROBE_LINE_STRIDE
@@ -85,7 +86,7 @@ def spectre_v1(
     ``probe[secret * 64]``.
     """
     if not 0 < secret_value < 16:
-        raise ValueError("secret_value must be in 1..15 (line 0 is training noise)")
+        raise ConfigError("secret_value must be in 1..15 (line 0 is training noise)")
     builder = CodeBuilder()
     builder.set_memory(SIZE_ADDR, ARRAY1_SIZE_WORDS)
     for i in range(ARRAY1_SIZE_WORDS):

@@ -18,6 +18,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 from repro.attacks.gadgets import Gadget
 from repro.attacks.observer import CacheObserver
 from repro.common.config import BranchPredictorConfig, SystemConfig
+from repro.common.errors import ConfigError
 from repro.pipeline.core import Core
 from repro.schemes import make_scheme
 from repro.schemes.base import SecureScheme
@@ -111,7 +112,7 @@ def noninterference_check(
     for secret in secrets:
         gadget = gadget_builder(secret)
         if not gadget.observed_addresses:
-            raise ValueError("gadget declares no observed addresses")
+            raise ConfigError("gadget declares no observed addresses")
         core, _ = _build_core(gadget, scheme, config)
         # Observe both residency and per-line access counts: an access to
         # an already-resident line still perturbs replacement state, which

@@ -118,14 +118,27 @@ def _build_parser() -> argparse.ArgumentParser:
 
     doctor = sub.add_parser(
         "doctor",
-        help="smoke-run every scheme with full guardrails; report per "
-             "invariant class",
+        help="static lint preflight, then smoke-run every scheme with "
+             "full guardrails; report per invariant class",
     )
     doctor.add_argument(
         "--schemes", default=None,
         help="comma-separated scheme names (default: every variant)",
     )
     doctor.add_argument("--instructions", type=int, default=4000)
+    doctor.add_argument(
+        "--no-lint", action="store_true",
+        help="skip the reprolint static preflight",
+    )
+
+    lint = sub.add_parser(
+        "lint",
+        help="reprolint: static analysis of simulator invariants "
+             "(exit 0 clean, 1 findings, 2 usage error)",
+    )
+    from repro.analysis.cli import add_lint_arguments
+
+    add_lint_arguments(lint)
     return parser
 
 
@@ -270,9 +283,19 @@ def _cmd_doctor(args: argparse.Namespace) -> int:
         schemes = DOCTOR_SCHEMES
     else:
         schemes = tuple(name.strip() for name in args.schemes.split(","))
-    report = run_doctor(schemes=schemes, instructions=args.instructions)
+    report = run_doctor(
+        schemes=schemes,
+        instructions=args.instructions,
+        lint_preflight=not args.no_lint,
+    )
     print(report.render())
     return 0 if report.ok else 1
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis.cli import run_lint
+
+    return run_lint(args)
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -319,6 +342,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_trace(args)
         if args.command == "doctor":
             return _cmd_doctor(args)
+        if args.command == "lint":
+            # Lint handles its own errors: findings are exit 1, misuse
+            # (LintUsageError) exit 2 — distinct from ReproError below.
+            return _cmd_lint(args)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1

@@ -338,16 +338,31 @@ def config_from_dict(data: Mapping[str, Any]) -> SystemConfig:
     )
 
 
+FINGERPRINT_EXCLUDED_FIELDS = frozenset({"guardrails"})
+"""Top-level :class:`SystemConfig` fields deliberately left out of
+:func:`config_fingerprint`.
+
+Every entry here must correspond to an explicit ``payload.pop("<field>",
+None)`` in :func:`config_fingerprint` and vice versa — the reprolint
+fingerprint-completeness rule (RPL201) enforces that agreement statically,
+so a field can neither be dropped from the cache key by accident (the
+PR-1 stale-memo bug) nor claimed excluded while it still keys the cache.
+
+* ``guardrails`` — pure observers: invariant checks and the watchdog
+  never change simulated behaviour, so runs at every ``--guardrails``
+  level (and any dump directory) share cache entries.
+"""
+
+
 def config_fingerprint(config: SystemConfig) -> str:
     """SHA-256 over the canonical (sorted-key JSON) form of ``config``.
 
-    The ``guardrails`` sub-config is excluded: guardrails are pure
-    observers (invariant checks and the watchdog never change simulated
-    behaviour), so runs at every ``--guardrails`` level — and with any
-    dump directory — share cache entries.
+    The payload is the full ``asdict`` serialization; the only fields
+    removed are the ones sanctioned by
+    :data:`FINGERPRINT_EXCLUDED_FIELDS` (see there for rationale).
     """
     payload = config_to_dict(config)
-    payload.pop("guardrails", None)
+    payload.pop("guardrails", None)  # sanctioned by FINGERPRINT_EXCLUDED_FIELDS
     canonical = json.dumps(payload, sort_keys=True)
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 

@@ -11,8 +11,13 @@ class ReproError(Exception):
     """Base class for all errors raised by this package."""
 
 
-class ConfigError(ReproError):
-    """An invalid or inconsistent configuration value."""
+class ConfigError(ReproError, ValueError):
+    """An invalid or inconsistent configuration value.
+
+    Subclasses :class:`ValueError` so long-standing callers that guard
+    bad-argument paths with ``except ValueError`` keep working (the same
+    compatibility contract as :class:`StatisticsError`).
+    """
 
 
 class AssemblyError(ReproError):
@@ -94,6 +99,19 @@ class JobTimeoutError(ReproError):
 
 class WorkerCrashError(ReproError):
     """A sweep worker process died (crash/kill) before returning a result."""
+
+
+class LintError(ReproError):
+    """reprolint could not analyze a target (unreadable file, broken
+    baseline, syntax error in the tree under analysis)."""
+
+
+class LintUsageError(LintError):
+    """reprolint was invoked incorrectly (unknown rule id, missing path).
+
+    The CLI maps this to exit code 2, distinguishing misuse from
+    findings (exit 1) and a clean pass (exit 0).
+    """
 
 
 class StatisticsError(ReproError, ValueError):

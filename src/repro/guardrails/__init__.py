@@ -24,6 +24,22 @@ from repro.guardrails.dump import (
 )
 from repro.guardrails.invariants import INVARIANT_CLASSES, InvariantChecker
 from repro.guardrails.watchdog import Watchdog
+from repro.pipeline.hooks import register_guardrail_provider
+
+
+def _default_guardrails(core):
+    """Build a core's observer pair per its ``GuardrailConfig``.
+
+    Registered with :mod:`repro.pipeline.hooks` below so the pipeline
+    gets its observers without ever importing this package (the core is
+    the observed object; the dependency points from here to it).
+    """
+    interval = core.config.guardrails.effective_interval
+    checker = InvariantChecker(core) if interval else None
+    return checker, Watchdog(core)
+
+
+register_guardrail_provider(_default_guardrails)
 
 __all__ = [
     "DOCTOR_SCHEMES",

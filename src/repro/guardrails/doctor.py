@@ -110,17 +110,22 @@ class DoctorReport:
 
     rows: List[SchemeReport]
     instructions: int
+    #: reprolint preflight outcome: "clean", "N finding(s)", or
+    #: "skipped" when the caller disabled it (--no-lint).
+    lint_status: str = "skipped"
+    lint_findings: int = 0
 
     @property
     def ok(self) -> bool:
-        return all(row.ok for row in self.rows)
+        return self.lint_findings == 0 and all(row.ok for row in self.rows)
 
     def render(self) -> str:
         width = max(len(row.scheme) for row in self.rows) + 2
         header = "scheme".ljust(width) + "".join(
             name.ljust(14) for name in INVARIANT_CLASSES
         )
-        lines = [header, "-" * len(header)]
+        lines = [f"static preflight (repro lint): {self.lint_status}", ""]
+        lines += [header, "-" * len(header)]
         for row in self.rows:
             cells = "".join(
                 row.classes.get(name, "?").ljust(14) for name in INVARIANT_CLASSES
@@ -139,14 +144,58 @@ class DoctorReport:
         return "\n".join(lines)
 
 
+def _lint_preflight() -> Tuple[str, int]:
+    """Self-lint the installed package; ``(status_line, finding_count)``.
+
+    Runs reprolint over ``src/repro`` with the packaged baseline before
+    any simulation: a dynamic smoke check is moot if the tree already
+    violates a statically-checkable contract (nondeterminism in the
+    simulator core, a fingerprint/exclusion mismatch, a layering break).
+    """
+    from pathlib import Path
+
+    import repro
+    from repro.analysis.baseline import PACKAGED_BASELINE, Baseline
+    from repro.analysis.engine import LintRunner
+
+    baseline = (
+        Baseline.load(PACKAGED_BASELINE) if PACKAGED_BASELINE.exists() else Baseline()
+    )
+    runner = LintRunner(baseline=baseline)
+    report = runner.run([str(Path(repro.__file__).resolve().parent)])
+    count = len(report.findings)
+    if count == 0:
+        return (
+            f"clean ({report.files_scanned} files, "
+            f"{len(report.rules_run)} rules)",
+            0,
+        )
+    worst = report.findings[0]
+    return (
+        f"{count} finding(s) — run `repro lint` for the list "
+        f"(first: {worst.render()})",
+        count,
+    )
+
+
 def run_doctor(
     schemes: Tuple[str, ...] = DOCTOR_SCHEMES,
     instructions: int = 4000,
     config: Optional[SystemConfig] = None,
+    lint_preflight: bool = True,
 ) -> DoctorReport:
-    """Run the smoke program under every scheme with full guardrails."""
+    """Run the smoke program under every scheme with full guardrails.
+
+    ``lint_preflight`` additionally self-lints the installed package
+    (reprolint with the packaged baseline) before simulating; findings
+    fail the report just like invariant violations.
+    """
     from repro.pipeline.core import Core
     from repro.schemes import make_scheme
+
+    lint_status, lint_findings = ("skipped", 0)
+    if lint_preflight:
+        lint_status, lint_findings = _lint_preflight()
 
     base = config if config is not None else small_config()
     cfg = base.with_overrides(guardrails=GuardrailConfig(level="full"))
@@ -172,4 +221,9 @@ def run_doctor(
                     report.classes[cls] = "FAIL"
                     report.error = problems[0]
         rows.append(report)
-    return DoctorReport(rows=rows, instructions=instructions)
+    return DoctorReport(
+        rows=rows,
+        instructions=instructions,
+        lint_status=lint_status,
+        lint_findings=lint_findings,
+    )

@@ -15,6 +15,7 @@ import random
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
+from repro.common.errors import ConfigError
 from repro.pipeline.core import Core
 
 
@@ -71,7 +72,7 @@ def periodic_interference(
     """A convenience schedule: every ``period`` cycles, invalidate a
     (seeded-)random address from ``addresses``."""
     if not addresses:
-        raise ValueError("need at least one address to interfere with")
+        raise ConfigError("need at least one address to interfere with")
     rng = random.Random(seed)
     events = []
     for index in range(count):

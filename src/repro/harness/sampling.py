@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 from typing import List, Optional
 
 from repro.common.config import SystemConfig
+from repro.common.errors import ConfigError, EmptyMeasurementError
 from repro.pipeline.core import Core
 from repro.schemes import make_scheme
 from repro.workloads.profiles import build_workload
@@ -71,7 +72,7 @@ def sample_benchmark(
     estimate steady-state dispersion rather than cold-start effects.
     """
     if windows < 1:
-        raise ValueError("need at least one window")
+        raise ConfigError("need at least one window")
     core = Core(build_workload(benchmark), make_scheme(scheme), config=config)
     if warmup > 0:
         core.run(max_instructions=warmup)
@@ -91,8 +92,9 @@ def sample_benchmark(
             break  # program ended inside the window
         result.ipcs.append(delta_instructions / delta_cycles)
     if not result.ipcs:
-        raise RuntimeError(
-            f"{benchmark}: program too short for even one sampling window"
+        raise EmptyMeasurementError(
+            "program too short for even one sampling window",
+            benchmark=benchmark, scheme=scheme,
         )
     return result
 

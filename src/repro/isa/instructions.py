@@ -21,7 +21,7 @@ import enum
 from dataclasses import dataclass
 from typing import Optional, Tuple
 
-from repro.common.errors import AssemblyError
+from repro.common.errors import AssemblyError, ExecutionError
 
 NUM_REGISTERS = 32
 WORD_MASK = (1 << 64) - 1
@@ -237,7 +237,7 @@ def evaluate_alu(opcode: Opcode, a: int, b: int) -> int:
         return a
     if opcode is Opcode.LI:
         return b & WORD_MASK
-    raise ValueError(f"{opcode} is not an ALU opcode")
+    raise ExecutionError(f"{opcode} is not an ALU opcode")
 
 
 def branch_taken(opcode: Opcode, a: int, b: int) -> bool:
@@ -258,4 +258,4 @@ def branch_taken(opcode: Opcode, a: int, b: int) -> bool:
         return signed_a < signed_b
     if opcode is Opcode.BGE:
         return signed_a >= signed_b
-    raise ValueError(f"{opcode} is not a branch opcode")
+    raise ExecutionError(f"{opcode} is not a branch opcode")

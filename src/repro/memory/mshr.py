@@ -10,13 +10,15 @@ from __future__ import annotations
 
 from typing import Dict, Optional
 
+from repro.common.errors import ConfigError, StructuralHazardError
+
 
 class MSHRFile:
     """Tracks outstanding misses as ``line -> completion cycle``."""
 
     def __init__(self, entries: int):
         if entries < 1:
-            raise ValueError("MSHR file needs at least one entry")
+            raise ConfigError("MSHR file needs at least one entry")
         self.entries = entries
         self._outstanding: Dict[int, int] = {}
 
@@ -44,7 +46,7 @@ class MSHRFile:
         """
         self._expire(cycle)
         if line not in self._outstanding and len(self._outstanding) >= self.entries:
-            raise RuntimeError("MSHR allocation without a free entry")
+            raise StructuralHazardError("MSHR allocation without a free entry")
         existing = self._outstanding.get(line)
         if existing is None or completion < existing:
             self._outstanding[line] = completion

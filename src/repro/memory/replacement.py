@@ -12,6 +12,8 @@ from __future__ import annotations
 import random
 from typing import List, Protocol, Sequence
 
+from repro.common.errors import ConfigError
+
 
 class ReplacementPolicy(Protocol):
     """Chooses a victim way given per-way metadata."""
@@ -67,5 +69,5 @@ def make_policy(name: str, seed: int = 0) -> ReplacementPolicy:
     if lowered == "random":
         return RandomPolicy(seed)
     if lowered not in policies:
-        raise ValueError(f"unknown replacement policy {name!r}")
+        raise ConfigError(f"unknown replacement policy {name!r}")
     return policies[lowered]()

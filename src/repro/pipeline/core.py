@@ -38,8 +38,6 @@ from repro.common.config import SystemConfig, default_config
 from repro.common.errors import SimulationLimitError
 from repro.common.stats import SimStats
 from repro.doppelganger.engine import DoppelgangerEngine
-from repro.guardrails.invariants import InvariantChecker
-from repro.guardrails.watchdog import Watchdog
 from repro.isa.instructions import (
     KIND_ALU,
     KIND_CBRANCH,
@@ -53,6 +51,7 @@ from repro.isa.instructions import (
 )
 from repro.isa.program import Program
 from repro.memory.hierarchy import MemoryHierarchy
+from repro.pipeline.hooks import build_guardrails
 from repro.pipeline.shadows import ShadowTracker
 from repro.pipeline.uop import NO_FORWARD, UNTAINTED, MicroOp, UopState
 from repro.predictors.branch import GShareBranchPredictor
@@ -149,16 +148,16 @@ class Core:
         self.halted = False
         self._last_commit_cycle = 0
 
-        # Guardrails: the watchdog is always armed (one compare per run
-        # iteration); the invariant checker exists only when enabled so
-        # --guardrails off costs a single attribute test per cycle.
+        # Guardrails are attached through the provider registry
+        # (repro.pipeline.hooks) so the core never imports the observer
+        # package.  The watchdog is always armed when a provider is
+        # registered (one compare per run iteration); the invariant
+        # checker exists only when enabled so --guardrails off costs a
+        # single attribute test per cycle.
         interval = self.config.guardrails.effective_interval
-        self.invariant_checker: Optional[InvariantChecker] = (
-            InvariantChecker(self) if interval else None
-        )
+        self.invariant_checker, self.watchdog = build_guardrails(self)
         self._check_interval = interval
         self._check_countdown = interval
-        self.watchdog = Watchdog(self)
 
     # ==================================================================
     # Public API
@@ -175,7 +174,10 @@ class Core:
                 raise SimulationLimitError(
                     f"{self.program.name}: exceeded {limit} cycles"
                 )
-            if self.cycle - self._last_commit_cycle > self.watchdog.window:
+            if (
+                self.watchdog is not None
+                and self.cycle - self._last_commit_cycle > self.watchdog.window
+            ):
                 self.watchdog.trip(self)
             self.step()
         self.stats.cycles = self.cycle

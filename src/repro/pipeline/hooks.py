@@ -1,0 +1,51 @@
+"""Observer attachment points for the pipeline.
+
+Guardrails (invariant checker, watchdog) are pure observers of the core:
+they read machine state and raise typed errors, but never change
+simulated behaviour.  The dependency therefore points *from* guardrails
+*to* the pipeline — the core must not import :mod:`repro.guardrails`
+(reprolint RPL401), or disabling/replacing the observers would require
+editing the simulator itself.
+
+Instead, the guardrails package registers a provider here at import time
+(``repro/__init__`` imports it, and Python initializes parent packages
+before submodules, so any ``import repro.pipeline.core`` wires the
+provider first).  :class:`~repro.pipeline.core.Core` asks
+:func:`build_guardrails` for its observer pair and runs fine with
+``(None, None)`` when nothing registered — e.g. when a stripped-down
+embedder imports the pipeline package directly.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
+    from repro.guardrails.invariants import InvariantChecker
+    from repro.guardrails.watchdog import Watchdog
+    from repro.pipeline.core import Core
+
+    GuardrailProvider = Callable[
+        ["Core"], Tuple[Optional["InvariantChecker"], Optional["Watchdog"]]
+    ]
+
+_guardrail_provider: "Optional[GuardrailProvider]" = None
+
+
+def register_guardrail_provider(provider: "GuardrailProvider") -> None:
+    """Install the factory that builds a core's observer pair.
+
+    Called once, from ``repro.guardrails.__init__``.  Last registration
+    wins, which lets tests swap in instrumented observers.
+    """
+    global _guardrail_provider
+    _guardrail_provider = provider
+
+
+def build_guardrails(
+    core: "Core",
+) -> "Tuple[Optional[InvariantChecker], Optional[Watchdog]]":
+    """``(invariant_checker_or_None, watchdog_or_None)`` for ``core``."""
+    if _guardrail_provider is None:
+        return None, None
+    return _guardrail_provider(core)

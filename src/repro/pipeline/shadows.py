@@ -25,6 +25,8 @@ from __future__ import annotations
 from collections import deque
 from typing import Deque, Set
 
+from repro.common.errors import StructuralHazardError
+
 INFINITE_SEQ = 1 << 62
 """Frontier value when no shadow caster is outstanding."""
 
@@ -41,7 +43,9 @@ class _CasterQueue:
 
     def add(self, seq: int) -> None:
         if self._queue and seq <= self._queue[-1]:
-            raise ValueError("shadow casters must be added in sequence order")
+            raise StructuralHazardError(
+                "shadow casters must be added in sequence order"
+            )
         self._queue.append(seq)
         self._live += 1
 

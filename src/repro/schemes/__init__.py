@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from typing import Dict, Type
 
+from repro.common.errors import ConfigError
 from repro.schemes.base import SecureScheme
 from repro.schemes.dom import DelayOnMiss
 from repro.schemes.dom_vp import DoMValuePrediction
@@ -34,7 +35,7 @@ def make_scheme(name: str, address_prediction: bool = False) -> SecureScheme:
         key = key[: -len("+ap")]
         address_prediction = True
     if key not in SCHEME_CLASSES:
-        raise ValueError(
+        raise ConfigError(
             f"unknown scheme {name!r}; expected one of {sorted(SCHEME_CLASSES)}"
         )
     return SCHEME_CLASSES[key](address_prediction=address_prediction)

@@ -36,10 +36,16 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Optional
 
+# This module is the schemes package's single sanctioned window onto the
+# pipeline (reprolint RPL401): concrete schemes import pipeline types
+# from here, never from repro.pipeline directly, so the full surface a
+# policy can touch stays visible in one place.
 from repro.pipeline.uop import UNTAINTED, MicroOp
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.pipeline.core import Core
+
+__all__ = ["MicroOp", "READY", "SecureScheme", "UNTAINTED"]
 
 READY = -1
 """Block key meaning "no restriction — proceed now"."""

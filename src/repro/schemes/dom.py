@@ -22,8 +22,7 @@ selected by ``dl_miss_release_at_nonspec`` and enforced by the engine.
 
 from __future__ import annotations
 
-from repro.pipeline.uop import MicroOp
-from repro.schemes.base import READY, SecureScheme
+from repro.schemes.base import READY, MicroOp, SecureScheme
 
 
 class DelayOnMiss(SecureScheme):

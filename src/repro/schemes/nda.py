@@ -13,8 +13,7 @@ unreadable until the shadow frontier reaches the load itself.
 
 from __future__ import annotations
 
-from repro.pipeline.uop import MicroOp
-from repro.schemes.base import READY, SecureScheme
+from repro.schemes.base import READY, MicroOp, SecureScheme
 
 
 class NDAPermissive(SecureScheme):

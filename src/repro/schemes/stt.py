@@ -24,8 +24,7 @@ to reach its taint root, which is exactly the block-key contract of
 
 from __future__ import annotations
 
-from repro.pipeline.uop import UNTAINTED, MicroOp
-from repro.schemes.base import READY, SecureScheme
+from repro.schemes.base import READY, UNTAINTED, MicroOp, SecureScheme
 
 
 class STT(SecureScheme):

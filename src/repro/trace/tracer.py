@@ -14,6 +14,7 @@ from collections import OrderedDict, deque
 from dataclasses import dataclass, field
 from typing import Deque, List, Optional
 
+from repro.common.errors import ConfigError
 from repro.pipeline.uop import MicroOp
 
 
@@ -54,7 +55,7 @@ class PipelineTracer:
 
     def __init__(self, capacity: int = 10_000):
         if capacity < 1:
-            raise ValueError("capacity must be positive")
+            raise ConfigError("capacity must be positive")
         self.capacity = capacity
         self._records: "OrderedDict[int, TraceRecord]" = OrderedDict()
         self.dropped = 0

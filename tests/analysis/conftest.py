@@ -1,0 +1,29 @@
+"""Shared fixture machinery for reprolint tests.
+
+``lint_fixture`` writes a source string to a ``repro/...``-shaped path
+under a temp directory (so the module-name resolver maps it into the
+package namespace the rules gate on) and runs a configured
+:class:`~repro.analysis.engine.LintRunner` over just that file.
+"""
+
+import textwrap
+
+import pytest
+
+from repro.analysis.engine import LintRunner
+
+
+@pytest.fixture
+def lint_fixture(tmp_path):
+    def _lint(relpath, source, select=(), ignore=(), baseline=None):
+        file = tmp_path / relpath
+        file.parent.mkdir(parents=True, exist_ok=True)
+        file.write_text(textwrap.dedent(source))
+        runner = LintRunner(select=select, ignore=ignore, baseline=baseline)
+        return runner.run([str(file)])
+
+    return _lint
+
+
+def rule_ids(report):
+    return [finding.rule for finding in report.findings]

@@ -1,0 +1,90 @@
+"""Self-hosting: the shipped tree must lint clean against its baseline,
+and the fingerprint rule must stay *live* on the real config module —
+deleting either side of the exclusion agreement has to fire RPL201."""
+
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.analysis.baseline import PACKAGED_BASELINE, Baseline
+from repro.analysis.engine import LintRunner
+from repro.common.config import FINGERPRINT_EXCLUDED_FIELDS
+
+PACKAGE_DIR = Path(repro.__file__).resolve().parent
+CONFIG_SOURCE = (PACKAGE_DIR / "common" / "config.py").read_text()
+
+
+class TestSelfLint:
+    def test_tree_is_clean_against_checked_in_baseline(self):
+        baseline = Baseline.load(PACKAGED_BASELINE)
+        report = LintRunner(baseline=baseline).run([str(PACKAGE_DIR)])
+        assert report.ok, "\n".join(f.render() for f in report.findings)
+        # The baseline must not rot either: every entry still matches.
+        assert report.stale_baseline == [], [
+            entry.message for entry in report.stale_baseline
+        ]
+
+    def test_every_baseline_entry_is_justified(self):
+        baseline = Baseline.load(PACKAGED_BASELINE)
+        for entry in baseline.entries:
+            assert entry.justification, f"unjustified baseline entry: {entry}"
+            assert "TODO" not in entry.justification, (
+                f"placeholder justification: {entry}"
+            )
+
+
+def _lint_modified_config(tmp_path, transform):
+    """Lint a copy of the real config module after ``transform``(source)."""
+    modified = transform(CONFIG_SOURCE)
+    assert modified != CONFIG_SOURCE, "transform must change the source"
+    target = tmp_path / "repro" / "common" / "config.py"
+    target.parent.mkdir(parents=True)
+    target.write_text(modified)
+    return LintRunner(select=["RPL201"]).run([str(target)])
+
+
+class TestFingerprintRuleLiveness:
+    def test_real_config_is_clean(self, tmp_path):
+        report = LintRunner(select=["RPL201"]).run(
+            [str(PACKAGE_DIR / "common" / "config.py")]
+        )
+        assert report.ok
+
+    @pytest.mark.parametrize("field", sorted(FINGERPRINT_EXCLUDED_FIELDS))
+    def test_deleting_an_exclusion_entry_fires(self, tmp_path, field):
+        def drop_entry(source):
+            lines = source.splitlines(keepends=True)
+            for index, line in enumerate(lines):
+                if line.startswith("FINGERPRINT_EXCLUDED_FIELDS"):
+                    lines[index] = line.replace(f'"{field}"', '"__deleted__"')
+                    break
+            return "".join(lines)
+
+        report = _lint_modified_config(tmp_path, drop_entry)
+        assert not report.ok
+        assert any(field in f.message for f in report.findings)
+
+    def test_deleting_the_constant_fires(self, tmp_path):
+        def drop_constant(source):
+            return source.replace(
+                "FINGERPRINT_EXCLUDED_FIELDS = ",
+                "_RENAMED_AWAY = ",
+                1,
+            )
+
+        report = _lint_modified_config(tmp_path, drop_constant)
+        assert not report.ok
+
+    def test_adding_an_unsanctioned_pop_fires(self, tmp_path):
+        def add_pop(source):
+            return source.replace(
+                'payload.pop("guardrails", None)',
+                'payload.pop("guardrails", None)\n'
+                '    payload.pop("max_cycles", None)',
+                1,
+            )
+
+        report = _lint_modified_config(tmp_path, add_pop)
+        assert not report.ok
+        assert any("max_cycles" in f.message for f in report.findings)

@@ -1,0 +1,141 @@
+"""Suppression comments and baseline round-trip mechanics."""
+
+import textwrap
+
+from repro.analysis.baseline import Baseline, BaselineEntry, write_baseline
+from repro.analysis.engine import LintRunner
+from repro.analysis.suppressions import suppressed_ids
+
+
+class TestInlineSuppression:
+    def test_named_noqa_suppresses_only_that_rule(self, lint_fixture):
+        report = lint_fixture(
+            "repro/pipeline/clock.py",
+            "import random  # repro: noqa[RPL101]\n",
+        )
+        assert report.ok
+        assert [f.rule for f in report.suppressed] == ["RPL101"]
+
+    def test_wrong_id_does_not_suppress(self, lint_fixture):
+        report = lint_fixture(
+            "repro/pipeline/clock.py",
+            "import random  # repro: noqa[RPL999]\n",
+        )
+        assert [f.rule for f in report.findings] == ["RPL101"]
+
+    def test_blanket_noqa_suppresses_everything(self, lint_fixture):
+        report = lint_fixture(
+            "repro/pipeline/clock.py",
+            "import random  # repro: noqa\n",
+        )
+        assert report.ok
+        assert [f.rule for f in report.suppressed] == ["RPL101"]
+
+    def test_marker_parsing(self):
+        assert suppressed_ids("x = 1  # repro: noqa[RPL101]") == {"RPL101"}
+        assert suppressed_ids("x = 1  # repro: noqa[rpl101, RPL102]") == {
+            "RPL101",
+            "RPL102",
+        }
+        assert suppressed_ids("x = 1  # plain comment") is None
+        blanket = suppressed_ids("x = 1  # repro: noqa")
+        assert "*" in blanket
+
+
+class TestBaselineRoundTrip:
+    def _write_violation(self, tmp_path):
+        file = tmp_path / "repro" / "pipeline" / "clock.py"
+        file.parent.mkdir(parents=True, exist_ok=True)
+        file.write_text("import random\n")
+        return file
+
+    def test_round_trip(self, tmp_path):
+        file = self._write_violation(tmp_path)
+        first = LintRunner(select=["RPL101"]).run([str(file)])
+        assert not first.ok
+
+        baseline_path = tmp_path / "baseline.json"
+        write_baseline(baseline_path, first.all_findings(), Baseline())
+        loaded = Baseline.load(baseline_path)
+        assert len(loaded.entries) == 1
+        assert loaded.entries[0].justification == "TODO: justify"
+
+        second = LintRunner(select=["RPL101"], baseline=loaded).run([str(file)])
+        assert second.ok
+        assert [f.rule for f in second.baselined] == ["RPL101"]
+        assert second.stale_baseline == []
+
+    def test_rewrite_keeps_existing_justifications(self, tmp_path):
+        file = self._write_violation(tmp_path)
+        report = LintRunner(select=["RPL101"]).run([str(file)])
+        baseline_path = tmp_path / "baseline.json"
+        write_baseline(baseline_path, report.all_findings(), Baseline())
+        justified = Baseline.load(baseline_path)
+        entry = justified.entries[0]
+        justified.entries[0] = BaselineEntry(
+            rule=entry.rule,
+            path=entry.path,
+            message=entry.message,
+            justification="kept on purpose",
+        )
+        write_baseline(baseline_path, report.all_findings(), justified)
+        assert (
+            Baseline.load(baseline_path).entries[0].justification
+            == "kept on purpose"
+        )
+
+    def test_stale_entries_are_reported(self, tmp_path):
+        file = tmp_path / "repro" / "pipeline" / "clean.py"
+        file.parent.mkdir(parents=True, exist_ok=True)
+        file.write_text("def f():\n    return 1\n")
+        stale = Baseline(
+            entries=[
+                BaselineEntry(
+                    rule="RPL101",
+                    path="repro/pipeline/clean.py",
+                    message="long gone",
+                    justification="obsolete",
+                )
+            ],
+            source="test",
+        )
+        report = LintRunner(baseline=stale).run([str(file)])
+        assert report.ok
+        assert [entry.message for entry in report.stale_baseline] == ["long gone"]
+
+    def test_baseline_matches_by_path_suffix(self, tmp_path):
+        file = self._write_violation(tmp_path)
+        report = LintRunner(select=["RPL101"]).run([str(file)])
+        # Entry path is anchored at repro/, not the tmp invocation dir.
+        entry = BaselineEntry(
+            rule="RPL101",
+            path="repro/pipeline/clock.py",
+            message=report.findings[0].message,
+            justification="test",
+        )
+        again = LintRunner(
+            select=["RPL101"], baseline=Baseline(entries=[entry])
+        ).run([str(file)])
+        assert again.ok
+
+
+class TestReporters:
+    def test_text_report_lists_findings_and_summary(self, lint_fixture):
+        report = lint_fixture("repro/pipeline/clock.py", "import random\n")
+        from repro.analysis.reporters import render_text
+
+        text = render_text(report)
+        assert "RPL101" in text
+        assert "repro/pipeline/clock.py" in text
+        assert "1 finding(s)" in text
+
+    def test_json_report_shape(self, lint_fixture):
+        import json
+
+        report = lint_fixture("repro/pipeline/clock.py", "import random\n")
+        from repro.analysis.reporters import render_json
+
+        payload = json.loads(render_json(report))
+        assert payload["ok"] is False
+        assert payload["findings"][0]["rule"] == "RPL101"
+        assert payload["files_scanned"] == 1

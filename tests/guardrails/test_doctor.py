@@ -19,10 +19,20 @@ class TestDoctor:
     def test_render_is_a_table_with_verdict(self):
         report = run_doctor(schemes=("unsafe",), instructions=800)
         text = report.render()
-        assert "scheme" in text.splitlines()[0]
+        assert text.splitlines()[0].startswith("static preflight (repro lint)")
+        header = next(
+            line for line in text.splitlines() if line.startswith("scheme")
+        )
         for name in INVARIANT_CLASSES:
-            assert name in text.splitlines()[0]
+            assert name in header
         assert "all invariants held" in text
+
+    def test_preflight_can_be_skipped(self):
+        report = run_doctor(
+            schemes=("unsafe",), instructions=800, lint_preflight=False
+        )
+        assert report.lint_status == "skipped"
+        assert report.ok
 
 
 class TestDoctorCli:

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.memory.interference import (
+from repro.harness.interference import (
     InterferenceEvent,
     InterferenceInjector,
     periodic_interference,

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.common.errors import AssemblyError
+from repro.common.errors import AssemblyError, ExecutionError
 from repro.isa.instructions import (
     KIND_ALU,
     KIND_CBRANCH,
@@ -106,7 +106,7 @@ class TestALUEvaluation:
         assert evaluate_alu(Opcode.MOV, 23, 99) == 23
 
     def test_non_alu_raises(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ExecutionError):
             evaluate_alu(Opcode.LOAD, 1, 2)
 
 
@@ -126,5 +126,5 @@ class TestBranchPredicates:
         assert branch_taken(Opcode.JMP, 0, 0)
 
     def test_non_branch_raises(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ExecutionError):
             branch_taken(Opcode.ADD, 1, 2)

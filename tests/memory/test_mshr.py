@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.common.errors import StructuralHazardError
 from repro.memory.mshr import MSHRFile
 
 
@@ -26,7 +27,7 @@ class TestAllocation:
     def test_overallocation_raises(self):
         mshrs = MSHRFile(1)
         mshrs.allocate(line=1, completion=10, cycle=0)
-        with pytest.raises(RuntimeError):
+        with pytest.raises(StructuralHazardError):
             mshrs.allocate(line=2, completion=10, cycle=0)
 
     def test_in_flight_count(self):

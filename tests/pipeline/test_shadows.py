@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.common.errors import StructuralHazardError
 from repro.pipeline.shadows import INFINITE_SEQ, ShadowTracker
 
 
@@ -62,7 +63,7 @@ class TestFrontier:
     def test_casters_must_arrive_in_order(self):
         t = ShadowTracker()
         t.branch_dispatched(5)
-        with pytest.raises(ValueError):
+        with pytest.raises(StructuralHazardError):
             t.branch_dispatched(4)
 
     def test_counts(self):
