@@ -7,6 +7,9 @@ Subcommands:
 * ``sweep`` — run a (benchmark × scheme) grid over a worker pool, with an
   optional persistent on-disk result cache (``--jobs`` / ``--cache-dir``).
 * ``figures`` — regenerate the paper's figures (Figure 1/6/7/8 + ablation).
+* ``bench`` — perf baseline: time the event-driven scheduler against the
+  per-cycle reference loop on the figure6 sweep, verify bit-identical
+  stats, and write/compare ``BENCH_figure6.json``.
 * ``attack`` — run the Spectre v1 gadget against every configuration.
 * ``trace`` — run with the pipeline tracer and print an instruction
   timeline (Konata-style, in text).
@@ -105,6 +108,30 @@ def _build_parser() -> argparse.ArgumentParser:
     figures.add_argument(
         "--cache-dir", default=None,
         help="persistent result cache directory shared across invocations",
+    )
+
+    bench = sub.add_parser(
+        "bench",
+        help="time the event-driven core against the per-cycle reference "
+             "loop on the figure6 sweep, verifying bit-identical stats",
+    )
+    bench.add_argument(
+        "--quick", action="store_true",
+        help="CI-sized cut of the grid instead of the full figure6 sweep",
+    )
+    bench.add_argument(
+        "--output", default=None,
+        help=f"write/merge the JSON baseline here (default "
+             f"{'BENCH_figure6.json'} when not comparing)",
+    )
+    bench.add_argument(
+        "--compare", default=None, metavar="BASELINE",
+        help="compare against a checked-in baseline instead of writing; "
+             "prints warnings on sim-IPS regressions (never fails the run)",
+    )
+    bench.add_argument(
+        "--threshold", type=float, default=None,
+        help="regression warning threshold as a fraction (default 0.20)",
     )
 
     attack = sub.add_parser("attack", help="run Spectre v1 against every scheme")
@@ -245,6 +272,51 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.harness.perfbench import (
+        DEFAULT_BASELINE,
+        DEFAULT_REGRESSION_THRESHOLD,
+        compare_baselines,
+        load_baseline,
+        run_bench,
+        write_baseline,
+    )
+
+    profile = "quick" if args.quick else "full"
+    print(f"benchmarking the {profile} profile (event-driven vs per-cycle "
+          f"reference loop; stats verified bit-identical per pair)")
+    print(f"{'benchmark':<14}{'scheme':<9}{'sim-IPS':>10}{'speedup':>9}"
+          f"{'cyc/step':>10}")
+    fragment = run_bench(profile, progress=print)
+    totals = fragment["totals"]
+    print(
+        f"\n{totals['pairs']} pairs: {totals['sim_ips']:.0f} aggregate "
+        f"sim-IPS, {totals['speedup']:.2f}x vs reference loop, "
+        f"{totals['cycles_per_step']:.1f} cycles/step "
+        f"({totals['wall_event']:.1f}s vs {totals['wall_reference']:.1f}s)"
+    )
+    if args.compare is not None:
+        threshold = (
+            DEFAULT_REGRESSION_THRESHOLD
+            if args.threshold is None else args.threshold
+        )
+        warnings = compare_baselines(
+            fragment, load_baseline(args.compare), threshold
+        )
+        for warning in warnings:
+            print(f"warning: {warning}")
+        if not warnings:
+            print(f"no regressions beyond {threshold:.0%} vs {args.compare}")
+        if args.output is not None:
+            write_baseline(args.output, fragment)
+            print(f"baseline written to {args.output}")
+        return 0
+    output = args.output if args.output is not None else DEFAULT_BASELINE
+    write_baseline(output, fragment)
+    print(f"baseline written to {output}")
+    return 0
+
+
 def _cmd_attack(args: argparse.Namespace) -> int:
     from repro.attacks import run_attack, spectre_v1
 
@@ -336,6 +408,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             if args.cache_dir is not None:
                 forwarded.extend(["--cache-dir", str(args.cache_dir)])
             return module.main(forwarded)
+        if args.command == "bench":
+            return _cmd_bench(args)
         if args.command == "attack":
             return _cmd_attack(args)
         if args.command == "trace":

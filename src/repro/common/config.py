@@ -249,12 +249,19 @@ class GuardrailConfig:
     """Invariant-check cadence: "off", "cheap" (every ``check_interval``
     cycles), or "full" (every cycle)."""
     check_interval: int = 1024
-    """Cycles between invariant sweeps at level "cheap"."""
+    """Cycles between invariant sweeps at level "cheap".  The cadence is
+    cycle-accurate under idle skipping: a clock jump spends the whole jump
+    against the countdown, and since machine state cannot change mid-jump
+    at most one sweep runs per step."""
     watchdog_window: int = 200_000
-    """Cycles without a commit before the watchdog classifies the core as
-    deadlocked/livelocked.  Must dwarf the worst-case memory latency so a
-    long-latency miss is never mistaken for a wedge (asserted at core
-    construction against the memory config)."""
+    """Steps (scheduler iterations) without a commit before the watchdog
+    classifies the core as deadlocked/livelocked.  Steps, not cycles: an
+    idle-skip jump over a long miss must never read as starvation, and in
+    a genuine wedge the clock advances one cycle per step so both
+    countings trip at the same point.  Must dwarf the worst-case memory
+    latency so even a non-skipping loop never mistakes one long-latency
+    miss chain for a wedge (clamped at core construction against the
+    memory config)."""
     dump_dir: str | None = None
     """Directory for crash dumps (watchdog + invariant failures); ``None``
     attaches the dump text to the raised error only."""

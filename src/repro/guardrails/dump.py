@@ -76,6 +76,8 @@ def machine_snapshot(core: "Core") -> Dict[str, Any]:
         "committed_instructions": stats.committed_instructions,
         "last_commit_cycle": core._last_commit_cycle,
         "commit_idle_cycles": core.cycle - core._last_commit_cycle,
+        "step_count": core._step_count,
+        "commit_idle_steps": core._step_count - core._last_commit_step,
         "occupancy": {
             "rob": len(core.rob),
             "rob_capacity": core.config.core.rob_entries,
@@ -88,6 +90,7 @@ def machine_snapshot(core: "Core") -> Dict[str, Any]:
             "ready_heap": len(core._ready),
             "mem_queue": len(core._mem_queue),
             "mem_retry": len(core._mem_retry),
+            "forward_retry": len(core._forward_retry),
             "frontier_waiters": len(core._frontier_waiters),
             "timed_events": len(core._events),
             "prefetch_queue": len(core._prefetch_queue),

@@ -12,13 +12,16 @@ no-commit window is exceeded it *classifies* the wedge before raising:
   loop that re-delays itself, a frontier waiter parked on a key the
   frontier can never reach.
 
-A *long-latency miss* can never trip the watchdog: the worst single
-access costs ``l3.latency + dram_latency`` cycles (~10^2), and the
-constructor clamps the window to a large multiple of that, so a no-commit
-stretch long enough to fire cannot be explained by memory latency — with
-idle-skipping, a core genuinely waiting on memory jumps the clock to the
-completion event and commits within one window regardless of how slow
-DRAM is.
+The window counts *steps* (loop iterations), not raw cycle deltas.  With
+idle skipping a single step can legitimately jump the clock by an entire
+DRAM latency — or by an arbitrarily long known-latency stretch — so a
+cycle-delta test would misread a healthy long miss as starvation the
+moment the miss outlasted the window.  A wedged machine makes no jumps
+(every step advances the clock by one), so in the failure mode the two
+countings agree and the trip point is unchanged.  The constructor still
+clamps the window to a large multiple of the worst-case memory latency:
+even a non-skipping tick loop then cannot misread one slow access chain
+as a wedge.
 
 On trigger the watchdog emits a human-readable crash dump (pipeline
 occupancy, oldest instruction, shadow state, per-scheme delay reasons,
@@ -56,17 +59,23 @@ class Watchdog:
         )
 
     def expired(self, core: "Core") -> bool:
-        """Cheap per-iteration test: has the no-commit window lapsed?"""
-        return core.cycle - core._last_commit_cycle > self.window
+        """Cheap per-iteration test: has the no-commit window lapsed?
+
+        Counts steps, not cycles — idle-skip jumps over long misses must
+        never look like commit starvation.
+        """
+        return core._step_count - core._last_commit_step > self.window
 
     def trip(self, core: "Core") -> None:
         """Classify the wedge, dump, and raise :class:`DeadlockError`."""
-        idle = core.cycle - core._last_commit_cycle
+        idle_steps = core._step_count - core._last_commit_step
+        idle_cycles = core.cycle - core._last_commit_cycle
         busy = bool(
             core._events
             or core._ready
             or core._mem_queue
             or core._mem_retry
+            or core._forward_retry
             or core._prefetch_queue
             or (core.engine is not None and core.engine.has_candidates())
         )
@@ -98,8 +107,8 @@ class Watchdog:
         )
         message = (
             f"{core.program.name} under {core.scheme.describe()}: no commit "
-            f"for {idle} cycles at cycle {core.cycle} ({kind}: {detail}); "
-            f"{head_text}"
+            f"for {idle_steps} steps ({idle_cycles} cycles) at cycle "
+            f"{core.cycle} ({kind}: {detail}); {head_text}"
         )
         snapshot = machine_snapshot(core)
         snapshot["watchdog"] = {"kind": kind, "window": self.window}

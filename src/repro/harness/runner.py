@@ -53,10 +53,13 @@ def run_program(
     core = Core(program, make_scheme(scheme), config=config)
     if warmup > 0:
         core.run(max_instructions=warmup)
+    # run() maintains stats.cycles at every return, reporting the cycle
+    # after the last executed step on a budget break — NOT core.cycle,
+    # whose trailing idle-skip jump may overshoot into a stretch nothing
+    # observes.  Window boundaries must use the corrected value so cycle
+    # deltas are independent of idle skipping.
     before = core.stats.as_dict()
-    before["cycles"] = core.cycle
     core.run(max_instructions=warmup + measure)
-    core.stats.cycles = core.cycle
     stats = _stats_delta(before, core.stats)
     if core.halted and measure > 0 and stats.committed_instructions == 0:
         raise EmptyMeasurementError(

@@ -39,6 +39,19 @@ class MSHRFile:
         self._expire(cycle)
         return len(self._outstanding) < self.entries
 
+    def next_free(self, cycle: int) -> Optional[int]:
+        """Earliest future cycle at which an entry will be free.
+
+        ``None`` when an entry is free *now*.  The idle-skip scheduler uses
+        this as the wake time for MSHR-starved loads: the file only drains
+        through completions, so the earliest completion is exactly the
+        first cycle a blocked allocation can succeed.
+        """
+        self._expire(cycle)
+        if len(self._outstanding) < self.entries:
+            return None
+        return min(self._outstanding.values())
+
     def allocate(self, line: int, completion: int, cycle: int) -> None:
         """Reserve an entry until ``completion``.
 

@@ -97,8 +97,10 @@ class Core:
         config: Optional[SystemConfig] = None,
         stats: Optional[SimStats] = None,
         hierarchy: Optional[MemoryHierarchy] = None,
+        idle_skip: bool = True,
     ):
         self.program = program
+        self._idle_skip = idle_skip
         self.config = config if config is not None else default_config()
         self.stats = stats if stats is not None else SimStats()
         self.arch = program.initial_state()
@@ -133,7 +135,12 @@ class Core:
 
         self._ready: List[Tuple[int, MicroOp]] = []
         self._mem_queue: List[Tuple[int, MicroOp]] = []
+        # Loads bounced by a structural hazard, split by what wakes them:
+        # MSHR exhaustion retries only once an entry frees (the wake time is
+        # computable from the MSHR file), while a forward-blocked load waits
+        # on its store's data — a same-step producer event.
         self._mem_retry: List[MicroOp] = []
+        self._forward_retry: List[MicroOp] = []
         self._events: List[Tuple[int, int, int, MicroOp]] = []
         self._event_counter = 0
         self._frontier_waiters: List[Tuple[int, int, int, MicroOp]] = []
@@ -147,6 +154,35 @@ class Core:
         self.fetch_halted = False
         self.halted = False
         self._last_commit_cycle = 0
+        # Step bookkeeping: the watchdog counts *steps* since the last
+        # commit (cycle deltas would misread an idle-skip jump over a long
+        # miss as starvation), and run() needs the cycle of the last step
+        # actually executed to report a budget-break cycle count that does
+        # not depend on how far the trailing jump overshot.
+        self._step_count = 0
+        self._last_commit_step = 0
+        self._last_step_cycle = 0
+
+        # Hot-path config, hoisted once: step() and its phases run millions
+        # of times and the frozen-dataclass attribute chain is measurable.
+        core_cfg = self.config.core
+        self._decode_width = core_cfg.decode_width
+        self._issue_width = core_cfg.issue_width
+        self._commit_width = core_cfg.commit_width
+        self._load_ports = core_cfg.load_ports
+        self._store_ports = core_cfg.store_ports
+        self._rob_entries = core_cfg.rob_entries
+        self._iq_entries = core_cfg.iq_entries
+        self._lq_entries = core_cfg.lq_entries
+        self._sq_entries = core_cfg.sq_entries
+        self._alu_latency = core_cfg.alu_latency
+        self._mul_latency = core_cfg.mul_latency
+        self._branch_resolve_latency = core_cfg.branch_resolve_latency
+        self._branch_resolution_delay = core_cfg.branch_resolution_delay
+        self._mispredict_penalty = core_cfg.mispredict_penalty
+        self._l1_latency = self.config.memory.l1.latency
+        self._prefetch_enabled = self.config.prefetch_enabled
+        self._train_on_execute = self.config.predictor.train_on_execute
 
         # Guardrails are attached through the provider registry
         # (repro.pipeline.hooks) so the core never imports the observer
@@ -165,9 +201,12 @@ class Core:
     def run(self, max_instructions: Optional[int] = None) -> SimStats:
         """Simulate until the program halts (or the budget is reached)."""
         limit = self.config.max_cycles
+        watchdog = self.watchdog
+        window = watchdog.window if watchdog is not None else 0
+        stats = self.stats
         while not self.halted:
             if max_instructions is not None and (
-                self.stats.committed_instructions >= max_instructions
+                stats.committed_instructions >= max_instructions
             ):
                 break
             if self.cycle >= limit:
@@ -175,52 +214,124 @@ class Core:
                     f"{self.program.name}: exceeded {limit} cycles"
                 )
             if (
-                self.watchdog is not None
-                and self.cycle - self._last_commit_cycle > self.watchdog.window
+                watchdog is not None
+                and self._step_count - self._last_commit_step > window
             ):
-                self.watchdog.trip(self)
+                watchdog.trip(self)
             self.step()
-        self.stats.cycles = self.cycle
-        return self.stats
+        if self.halted:
+            stats.cycles = self.cycle
+        else:
+            # Budget break: the trailing _next_cycle may already have
+            # jumped the clock deep into an idle stretch nothing will
+            # observe.  Report the cycle after the last step that actually
+            # ran, which is what a non-skipping loop would read — so the
+            # count is independent of idle skipping.
+            stats.cycles = self._last_step_cycle + 1
+        return stats
 
     def step(self) -> None:
-        """Advance the core by one cycle (or skip an idle stretch)."""
+        """Advance the core by one cycle (or skip an idle stretch).
+
+        In event-driven mode (``idle_skip=True``, the default) each phase
+        runs behind a cheap activity guard — an idle phase costs one truth
+        test — and the clock jumps over provably idle stretches.  With
+        ``idle_skip=False`` the core becomes the per-cycle reference loop
+        (every phase visited every cycle, clock always +1): every phase is
+        a no-op when its queues are empty, so the guards are purely an
+        optimization, and the reference mode pins that claim — both modes
+        must produce bit-identical :class:`SimStats`.
+        """
         now = self.cycle
-        self._writeback(now)
-        self._process_frontier(now)
-        self._commit(now)
-        if self.halted:
-            return
-        self._issue(now)
-        ports = self._schedule_memory(now, self.config.core.load_ports)
-        if self.engine is not None:
-            ports = self.engine.issue_spare(ports, now)
-        self._issue_prefetches(now, ports)
-        self._dispatch(now)
+        self._step_count += 1
+        self._last_step_cycle = now
+        if self._idle_skip:
+            events = self._events
+            if events and events[0][0] <= now:
+                self._writeback(now)
+            if self._frontier_waiters:
+                self._process_frontier(now)
+            if self.rob and self.rob[0].completed:
+                self._commit(now)
+                if self.halted:
+                    return
+            if self._ready:
+                self._issue(now)
+            ports = self._load_ports
+            if self._mem_queue or self._mem_retry or self._forward_retry:
+                ports = self._schedule_memory(now, ports)
+            engine = self.engine
+            if engine is not None and engine.has_candidates():
+                ports = engine.issue_spare(ports, now)
+            if self._prefetch_queue and ports > 0:
+                self._issue_prefetches(now, ports)
+            if not self.fetch_halted and now >= self.fetch_stalled_until:
+                self._dispatch(now)
+        else:
+            self._writeback(now)
+            self._process_frontier(now)
+            self._commit(now)
+            if self.halted:
+                return
+            self._issue(now)
+            ports = self._schedule_memory(now, self._load_ports)
+            if self.engine is not None:
+                ports = self.engine.issue_spare(ports, now)
+            self._issue_prefetches(now, ports)
+            self._dispatch(now)
+        nxt = self._next_cycle(now)
         if self.invariant_checker is not None:
-            self._check_countdown -= 1
+            # Cycle-accurate cadence: the countdown burns *simulated
+            # cycles*, so idle-skip jumps cannot silently stretch the check
+            # interval.  One sweep covers a whole jumped stretch — machine
+            # state cannot change while no step runs.
+            self._check_countdown -= nxt - now
             if self._check_countdown <= 0:
                 self._check_countdown = self._check_interval
                 self.invariant_checker.check()
-        self.cycle = self._next_cycle(now)
+        self.cycle = nxt
 
     def _next_cycle(self, now: int) -> int:
-        """``now + 1``, or a jump to the next timed event when idle."""
+        """``now + 1``, or a jump to the next timed event when idle.
+
+        Equivalence contract (pinned by tests/pipeline/test_idle_skip.py):
+        a skip is legal only when *no* phase could do work at the skipped
+        cycles, so a core with ``idle_skip=False`` must produce bit-
+        identical :class:`SimStats`.  Every wake source therefore appears
+        here: the ready heap, the memory queues, structural-hazard retries
+        (MSHR wakeups are computed from the MSHR file), prefetch timers,
+        doppelganger candidates, *eligible* frontier waiters (a resolution
+        cascade pipelines one step at a time), the timed-event heap, and
+        the fetch-stall timer.
+        """
+        if not self._idle_skip:
+            return now + 1
         if (
             self._ready
             or self._mem_queue
-            or self._mem_retry
+            or self._forward_retry
             or self._prefetch_queue
             or (self.engine is not None and self.engine.has_candidates())
         ):
             return now + 1
-        if not self._dispatch_blocked(now):
+        waiters = self._frontier_waiters
+        if waiters and waiters[0][0] <= self.shadows.frontier():
+            # A frontier-resolution cascade (e.g. DoM+AP in-order branch
+            # resolution) unlocks at most one layer per step; an already-
+            # eligible waiter means next step has work at now + 1.
             return now + 1
         if self.rob and self.rob[0].completed:
+            return now + 1
+        if not self._dispatch_blocked(now):
             return now + 1
         candidates = []
         if self._events:
             candidates.append(self._events[0][0])
+        if self._mem_retry:
+            wake = self.hierarchy.mshrs.next_free(now)
+            if wake is None:
+                return now + 1  # an entry is already free; retry next cycle
+            candidates.append(wake)
         if not self.fetch_halted and self.fetch_stalled_until > now:
             candidates.append(self.fetch_stalled_until)
         if not candidates:
@@ -230,10 +341,9 @@ class Core:
     def _dispatch_blocked(self, now: int) -> bool:
         if self.fetch_halted or now + 1 < self.fetch_stalled_until:
             return True
-        core_cfg = self.config.core
         return (
-            len(self.rob) >= core_cfg.rob_entries
-            or self.iq_count >= core_cfg.iq_entries
+            len(self.rob) >= self._rob_entries
+            or self.iq_count >= self._iq_entries
         )
 
     def inject_invalidation(self, address: int) -> None:
@@ -340,7 +450,7 @@ class Core:
 
     def _finish_load_agu(self, load: MicroOp, now: int) -> None:
         load.address_ready = True
-        if self.config.predictor.train_on_execute:
+        if self._train_on_execute:
             # INSECURE ablation path: observes speculative/wrong-path
             # addresses (see PredictorConfig.train_on_execute).
             self.stride.train_commit(load.pc, load.address)
@@ -468,8 +578,8 @@ class Core:
         rob = self.rob
         if not rob or not rob[0].completed:
             return
-        width = self.config.core.commit_width
-        stores_left = self.config.core.store_ports
+        width = self._commit_width
+        stores_left = self._store_ports
         stats = self.stats
         while width > 0 and rob:
             uop = rob[0]
@@ -486,6 +596,7 @@ class Core:
             rob.popleft()
             uop.state = _COMMITTED
             self._last_commit_cycle = now
+            self._last_commit_step = self._step_count
             if self.tracer is not None:
                 self.tracer.on_commit(uop, now)
             width -= 1
@@ -522,11 +633,11 @@ class Core:
         # security-critical invariant for both the prefetcher and the
         # Doppelganger address predictor.  (train_on_execute is the
         # insecure ablation that moves training to address generation.)
-        if not self.config.predictor.train_on_execute:
+        if not self._train_on_execute:
             self.stride.train_commit(load.pc, load.address)
         if self.value_pred is not None:
             self.value_pred.train_commit(load.pc, load.result or 0)
-        if self.config.prefetch_enabled:
+        if self._prefetch_enabled:
             for candidate in self.stride.prefetch_candidates(load.pc, load.address):
                 if self.hierarchy.residency(candidate) != 1:
                     self._prefetch_queue.append(candidate)
@@ -590,7 +701,7 @@ class Core:
         return UNTAINTED
 
     def _issue(self, now: int) -> None:
-        width = self.config.core.issue_width
+        width = self._issue_width
         ready = self._ready
         scheme = self.scheme
         uses_taint = scheme.uses_taint
@@ -645,8 +756,8 @@ class Core:
             # arrived late has long since been fetched and resolves within
             # a couple of cycles of issue.
             resolve_at = max(
-                now + self.config.core.branch_resolve_latency,
-                uop.dispatch_cycle + 1 + self.config.core.branch_resolution_delay,
+                now + self._branch_resolve_latency,
+                uop.dispatch_cycle + 1 + self._branch_resolution_delay,
             )
             self._schedule(resolve_at, _EV_BRANCH, uop)
             return
@@ -655,18 +766,25 @@ class Core:
         uop.result = evaluate_alu(inst.opcode, value1, operand_b)
         if self.scheme.uses_taint:
             uop.taint = self._operand_taint(uop)
-        latency = (
-            self.config.core.mul_latency
-            if inst.is_mul
-            else self.config.core.alu_latency
-        )
+        latency = self._mul_latency if inst.is_mul else self._alu_latency
         self._schedule(now + latency, _EV_ALU, uop)
 
     # ==================================================================
     # Phase 5: memory ports
     # ==================================================================
     def _schedule_memory(self, now: int, ports: int) -> int:
-        if self._mem_retry:
+        if self._forward_retry:
+            for load in self._forward_retry:
+                if load.state != _SQUASHED:
+                    self._push_mem(load)
+            self._forward_retry.clear()
+        if self._mem_retry and self.hierarchy.mshrs.can_allocate(now):
+            # MSHR-starved loads re-attempt only once an entry has actually
+            # freed: the gate keeps the per-attempt access/stall counters
+            # from inflating with the polling rate, and — because the first
+            # free cycle is a pure function of the MSHR file — re-attempts
+            # land on the same cycles whether or not the idle stretch in
+            # between was skipped.
             for load in self._mem_retry:
                 if load.state != _SQUASHED:
                     self._push_mem(load)
@@ -687,7 +805,7 @@ class Core:
                 continue
             forwarded, blocked, store = self._try_forward(load)
             if blocked:
-                self._mem_retry.append(load)
+                self._forward_retry.append(load)
                 continue
             ports -= 1
             if forwarded:
@@ -703,7 +821,7 @@ class Core:
                     load.executed = True
                     load.dom_touch_pending = True
                     self._bind_memory_value(load)
-                    self._finish_load(load, now + self.config.memory.l1.latency, 1)
+                    self._finish_load(load, now + self._l1_latency, 1)
                 else:
                     load.dom_delayed = True
                     self.stats.dom_delayed_misses += 1
@@ -739,7 +857,7 @@ class Core:
         load.vp_active = True
         load.result = predicted
         load.forward_source_seq = NO_FORWARD
-        self._schedule(now + self.config.memory.l1.latency, _EV_MEM, load)
+        self._schedule(now + self._l1_latency, _EV_MEM, load)
 
     def _memory_view(self, load: MicroOp) -> int:
         """The value the load's real access observes (forwarding-aware)."""
@@ -819,11 +937,10 @@ class Core:
     def _dispatch(self, now: int) -> None:
         if self.fetch_halted or now < self.fetch_stalled_until:
             return
-        core_cfg = self.config.core
         rob, lq, sq = self.rob, self.lq, self.sq
         program_fetch = self.program.fetch
-        for _ in range(core_cfg.decode_width):
-            if len(rob) >= core_cfg.rob_entries or self.iq_count >= core_cfg.iq_entries:
+        for _ in range(self._decode_width):
+            if len(rob) >= self._rob_entries or self.iq_count >= self._iq_entries:
                 return
             inst = program_fetch(self.fetch_pc)
             if inst is None:
@@ -832,9 +949,9 @@ class Core:
                 self.fetch_halted = True
                 return
             kind = inst.kind
-            if kind == KIND_LOAD and len(lq) >= core_cfg.lq_entries:
+            if kind == KIND_LOAD and len(lq) >= self._lq_entries:
                 return
-            if kind == KIND_STORE and len(sq) >= core_cfg.sq_entries:
+            if kind == KIND_STORE and len(sq) >= self._sq_entries:
                 return
             uop = MicroOp(self.next_seq, self.fetch_pc, inst, now)
             self.next_seq += 1
@@ -989,7 +1106,7 @@ class Core:
             self.bpred.history = history_snapshot
         self.fetch_pc = redirect_pc
         self.fetch_halted = False
-        self.fetch_stalled_until = self.cycle + 1 + self.config.core.mispredict_penalty
+        self.fetch_stalled_until = self.cycle + 1 + self._mispredict_penalty
 
     @staticmethod
     def _prune(queue: Deque[MicroOp]) -> None:

@@ -1,0 +1,115 @@
+"""Pin the invariant checker's cadence to *cycles*, not steps.
+
+Regression: the checker countdown used to decrement once per ``step()``
+call.  Under idle skipping a step can advance the clock by an entire DRAM
+latency, so the real sweep interval silently stretched with the skip
+ratio — a "cheap, every 1024 cycles" setting could degrade to one sweep
+per ~100k cycles on memory-bound code.  The countdown now burns the full
+clock jump, making the cadence cycle-accurate in both loop modes.
+
+The contract (documented on ``GuardrailConfig.check_interval``):
+
+* consecutive sweeps are at least ``check_interval`` *cycles* apart
+  (measured at the post-step clock), and
+* at most ``check_interval`` *steps* apart — the countdown loses at
+  least one per step, and state cannot change mid-jump, so running at
+  most one sweep per step loses nothing.
+"""
+
+import pytest
+
+from repro.common.config import GuardrailConfig, small_config
+from repro.isa.builder import CodeBuilder
+from repro.pipeline.core import Core
+from repro.schemes import make_scheme
+
+
+def dram_chase_program(hops=8):
+    b = CodeBuilder()
+    chain = [0x300000 + 8192 * i for i in range(hops + 1)]
+    for here, there in zip(chain, chain[1:]):
+        b.set_memory(here, there)
+    b.li(1, chain[0])
+    for _ in range(hops):
+        b.load(1, 1)
+    b.store(1, 0, disp=8)
+    b.halt()
+    return b.build(name="cadence_dram_chase")
+
+
+def make_core(interval, idle_skip=True):
+    config = small_config().with_overrides(
+        guardrails=GuardrailConfig(level="cheap", check_interval=interval)
+    )
+    return Core(
+        dram_chase_program(), make_scheme("unsafe"), config=config,
+        idle_skip=idle_skip,
+    )
+
+
+def run_recording_sweeps(core):
+    """Step to halt, recording (step_count, post-step cycle) for every
+    step during which the checker swept."""
+    checker = core.invariant_checker
+    fired = []
+    original = checker.check
+
+    def recording_check():
+        fired.append(True)
+        original()
+
+    checker.check = recording_check
+    sweeps = []
+    while not core.halted:
+        fired.clear()
+        core.step()
+        if fired:
+            assert len(fired) == 1, "more than one sweep in a single step"
+            sweeps.append((core._step_count, core.cycle))
+    return sweeps
+
+
+class TestCycleAccurateCadence:
+    def test_interval_larger_than_step_count_still_sweeps(self):
+        """The discriminating case: a serial DRAM chase finishes in far
+        fewer *steps* than ``interval``, but far more *cycles*.  Per-step
+        counting would never sweep; cycle-accurate counting must."""
+        interval = 200
+        core = make_core(interval)
+        sweeps = run_recording_sweeps(core)
+        assert core._step_count < interval  # per-step counting → 0 sweeps
+        assert core.cycle > 2 * interval
+        assert len(sweeps) >= 2
+
+    @pytest.mark.parametrize("idle_skip", [True, False])
+    def test_sweep_spacing_contract(self, idle_skip):
+        """≥ interval cycles and ≤ interval steps between sweeps, in both
+        loop modes."""
+        interval = 64
+        core = make_core(interval, idle_skip=idle_skip)
+        sweeps = run_recording_sweeps(core)
+        assert len(sweeps) >= 2
+        for (step_a, cycle_a), (step_b, cycle_b) in zip(sweeps, sweeps[1:]):
+            assert cycle_b - cycle_a >= interval
+            assert step_b - step_a <= interval
+
+    def test_both_modes_keep_sweeping(self):
+        """Both loop modes must keep sweeping throughout the run.  Skip
+        mode may sweep somewhat less often — a clock jump that overshoots
+        the countdown fires one sweep, not a catch-up burst, because the
+        skipped stretch had no state changes to audit — but it must never
+        collapse toward zero the way the old per-step cadence did."""
+        interval = 64
+        skip = make_core(interval)
+        skip_sweeps = run_recording_sweeps(skip)
+        tick = make_core(interval, idle_skip=False)
+        tick_sweeps = run_recording_sweeps(tick)
+        assert skip.cycle == tick.cycle
+        assert len(tick_sweeps) == tick.cycle // interval
+        assert 2 <= len(skip_sweeps) <= len(tick_sweeps)
+        # The widest sweep gap is bounded by the widest clock jump plus
+        # one full interval, not by the skip ratio.
+        widest = max(b - a for (_, a), (_, b) in zip(skip_sweeps, skip_sweeps[1:]))
+        assert widest <= 2 * max(
+            interval, skip.hierarchy.max_latency + interval
+        )

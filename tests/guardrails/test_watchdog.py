@@ -26,8 +26,67 @@ def make_core(dump_dir=None, watchdog_window=200_000):
 
 
 def wedge(core):
-    """Make the core look commit-starved without waiting 200k cycles."""
+    """Make the core look commit-starved without waiting 200k steps.
+
+    The watchdog counts *steps* since the last commit (cycle deltas would
+    misread idle-skip jumps as starvation), so a wedge is a stale commit
+    step; the cycle counter is aged too so dumps stay coherent.
+    """
+    core._last_commit_step = core._step_count - core.watchdog.window - 1
     core._last_commit_cycle = core.cycle - core.watchdog.window - 1
+
+
+def dram_chase_program(hops=6):
+    """A serial pointer chase: each load misses to DRAM, so the idle-skip
+    clock jumps by roughly a full DRAM latency between commits."""
+    from repro.isa.builder import CodeBuilder
+
+    b = CodeBuilder()
+    chain = [0x200000 + 8192 * i for i in range(hops + 1)]
+    for here, there in zip(chain, chain[1:]):
+        b.set_memory(here, there)
+    b.li(1, chain[0])
+    for _ in range(hops):
+        b.load(1, 1)
+    b.store(1, 0, disp=8)
+    b.halt()
+    return b.build(name="watchdog_dram_chase")
+
+
+class TestIdleSkipImmunity:
+    def test_long_miss_jump_does_not_false_trip(self):
+        """Regression (idle-skip blind spot): a watchdog window *smaller*
+        than one DRAM miss must not trip on a healthy pointer chase.
+
+        Each miss makes the clock jump ~90 cycles in one step; the old
+        cycle-delta test read that jump as 90 idle "cycles" and tripped
+        once the window was below the miss latency.  Counting steps, the
+        chase takes only a handful of iterations per commit.
+        """
+        core = Core(dram_chase_program(), make_scheme("unsafe"))
+        core.watchdog.window = 50  # far below one DRAM round trip
+        core.run()  # must not raise
+        assert core.halted
+
+        # The scenario is real: the same program shows inter-commit cycle
+        # gaps beyond the window, which a cycle-delta watchdog would have
+        # misread as starvation.
+        probe = Core(dram_chase_program(), make_scheme("unsafe"))
+        gaps, prev = [], 0
+        while not probe.halted:
+            probe.step()
+            if probe._last_commit_cycle != prev:
+                gaps.append(probe._last_commit_cycle - prev)
+                prev = probe._last_commit_cycle
+        assert max(gaps) > 50
+
+    def test_true_deadlock_still_trips_with_step_counting(self):
+        """In a genuine wedge no jumps happen (every step is +1 cycle), so
+        step counting trips at the same point cycle counting did."""
+        core = make_core()
+        wedge(core)
+        with pytest.raises(DeadlockError):
+            core.run(max_instructions=10_000)
 
 
 class TestWindow:
@@ -62,6 +121,7 @@ class TestClassification:
         core._ready.clear()
         core._mem_queue.clear()
         core._mem_retry.clear()
+        core._forward_retry.clear()
         core._prefetch_queue.clear()
         with pytest.raises(DeadlockError) as excinfo:
             core.watchdog.trip(core)
