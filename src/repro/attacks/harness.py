@@ -8,34 +8,39 @@ Two complementary judgements:
   arguments reduce to: run the same gadget with different secrets and
   compare the microarchitectural state the attacker can observe; any
   difference is a leak, whether or not a receiver could decode it.
+
+The equivalence machinery (``noninterference_check``,
+``snapshots_equal``, ``attack_config``) lives in :mod:`repro.oracle`,
+shared with the differential fuzzer, and is re-exported here so existing
+imports keep working.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+from typing import List, Optional, Union
 
 from repro.attacks.gadgets import Gadget
 from repro.attacks.observer import CacheObserver
-from repro.common.config import BranchPredictorConfig, SystemConfig
-from repro.common.errors import ConfigError
-from repro.pipeline.core import Core
-from repro.schemes import make_scheme
+from repro.common.config import SystemConfig
+from repro.oracle import (
+    attack_config,
+    build_gadget_core,
+    noninterference_check,
+    snapshots_equal,
+)
 from repro.schemes.base import SecureScheme
 
+__all__ = [
+    "AttackOutcome",
+    "attack_config",
+    "noninterference_check",
+    "run_attack",
+    "snapshots_equal",
+]
 
-def attack_config() -> SystemConfig:
-    """The system configuration attack runs use by default.
-
-    Identical to the Table 1 system except the branch predictor runs with
-    zero history bits (pure bimodal).  A real attacker *trains* the
-    predictor into a known state before triggering the gadget; with
-    global history the prediction at the attack point would depend on
-    incidental path history, adding noise that has nothing to do with the
-    schemes under test.  Bimodal counters make the trained transient path
-    deterministic, which is what the paper's attack discussions assume.
-    """
-    return SystemConfig(branch=BranchPredictorConfig(history_bits=0))
+# Backward-compatible alias for the pre-oracle private helper.
+_build_core = build_gadget_core
 
 
 @dataclass
@@ -57,21 +62,6 @@ class AttackOutcome:
         )
 
 
-def _build_core(
-    gadget: Gadget,
-    scheme: Union[str, SecureScheme],
-    config: Optional[SystemConfig],
-) -> Tuple[Core, SecureScheme]:
-    if isinstance(scheme, str):
-        scheme = make_scheme(scheme)
-    if config is None:
-        config = attack_config()
-    core = Core(gadget.program, scheme, config=config)
-    if gadget.warm_addresses:
-        core.hierarchy.warm(list(gadget.warm_addresses))
-    return core, scheme
-
-
 def run_attack(
     gadget: Gadget,
     scheme: Union[str, SecureScheme] = "unsafe",
@@ -79,7 +69,7 @@ def run_attack(
 ) -> AttackOutcome:
     """Run ``gadget`` under ``scheme`` and try to recover the secret via
     the probe-array cache channel."""
-    core, scheme_obj = _build_core(gadget, scheme, config)
+    core, scheme_obj = build_gadget_core(gadget, scheme, config)
     core.run()
     observer = CacheObserver(
         core.hierarchy, gadget.probe_base, values=gadget.probe_values
@@ -93,45 +83,3 @@ def run_attack(
         resident_values=observer.resident_values(),
         stats_summary=core.stats.summary(),
     )
-
-
-def noninterference_check(
-    gadget_builder: Callable[[int], Gadget],
-    scheme: Union[str, SecureScheme] = "dom+ap",
-    secrets: Sequence[int] = (0, 1),
-    config: Optional[SystemConfig] = None,
-) -> Dict[int, Dict[int, Optional[int]]]:
-    """Run the gadget once per secret and snapshot observable state.
-
-    Returns ``{secret: {observed_address: residency_level_or_None}}``.
-    The scheme is leak-free for this gadget iff all snapshots are equal —
-    ``snapshots_equal(result)`` — because then no attacker measuring those
-    addresses can distinguish the secrets.
-    """
-    snapshots: Dict[int, Dict[int, Optional[int]]] = {}
-    for secret in secrets:
-        gadget = gadget_builder(secret)
-        if not gadget.observed_addresses:
-            raise ConfigError("gadget declares no observed addresses")
-        core, _ = _build_core(gadget, scheme, config)
-        # Observe both residency and per-line access counts: an access to
-        # an already-resident line still perturbs replacement state, which
-        # eviction probing can detect.
-        core.hierarchy.watch(list(gadget.observed_addresses))
-        core.run()
-        observer = CacheObserver(
-            core.hierarchy, gadget.probe_base, values=gadget.probe_values
-        )
-        view: Dict[int, Optional[int]] = observer.snapshot(
-            gadget.observed_addresses
-        )
-        for line, count in core.hierarchy.watched_counts().items():
-            view[("accesses", line)] = count  # type: ignore[index]
-        snapshots[secret] = view
-    return snapshots
-
-
-def snapshots_equal(snapshots: Dict[int, Dict[int, Optional[int]]]) -> bool:
-    """True when every secret produced identical observable state."""
-    views = list(snapshots.values())
-    return all(view == views[0] for view in views[1:])

@@ -157,6 +157,82 @@ def _build_parser() -> argparse.ArgumentParser:
         "--no-lint", action="store_true",
         help="skip the reprolint static preflight",
     )
+    doctor.add_argument(
+        "--no-fuzz", action="store_true",
+        help="skip the differential fuzz smoke (a few seeds × 2 schemes)",
+    )
+
+    fuzz = sub.add_parser(
+        "fuzz",
+        help="differential fuzzing: run seeded random programs under every "
+             "scheme × idle_skip × guardrails and demand identical "
+             "architectural state (exit 0 clean, 1 findings)",
+    )
+    fuzz.add_argument(
+        "--seeds", type=int, default=50,
+        help="how many seeds to run (default: 50)",
+    )
+    fuzz.add_argument(
+        "--seed-start", type=int, default=0,
+        help="first seed of the window (default: 0)",
+    )
+    fuzz.add_argument(
+        "--profiles", default=None,
+        help="comma-separated profile names, assigned round-robin over the "
+             "seed window (default: every named profile)",
+    )
+    fuzz.add_argument(
+        "--schemes", default=None,
+        help="comma-separated scheme names (default: unsafe + every secure "
+             "scheme)",
+    )
+    fuzz.add_argument(
+        "--matrix", choices=("full", "schemes"), default="full",
+        help="execution matrix per program: 'full' crosses schemes × "
+             "idle_skip × guardrails; 'schemes' is one cell per scheme",
+    )
+    fuzz.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker processes (default: one per CPU; 1 = run inline)",
+    )
+    fuzz.add_argument(
+        "--job-timeout", type=float, default=None,
+        help="per-program wall-clock budget in seconds (default: wait "
+             "forever)",
+    )
+    fuzz.add_argument(
+        "--retries", type=int, default=1,
+        help="retry attempts for transient worker failures (default: 1)",
+    )
+    fuzz.add_argument(
+        "--time-budget", type=float, default=None,
+        help="stop submitting new programs after this many seconds",
+    )
+    fuzz.add_argument(
+        "--repro-dir", default="fuzz-repros",
+        help="directory for minimized repro files and the failure manifest "
+             "(default: fuzz-repros)",
+    )
+    fuzz.add_argument(
+        "--no-minimize", action="store_true",
+        help="record findings without delta-debugging them first",
+    )
+    fuzz.add_argument(
+        "--mutation", default=None,
+        help="run with a named scheme bug injected (oracle self-test); "
+             "findings are then expected",
+    )
+    fuzz.add_argument(
+        "--selftest", action="store_true",
+        help="end-to-end check: inject a mutation, require the oracle to "
+             "catch it and the shrinker to minimize it to <= 10 "
+             "instructions (exit 0 on success)",
+    )
+    fuzz.add_argument(
+        "--replay", default=None, metavar="PATH",
+        help="re-run a repro file or every entry of a failure manifest "
+             "instead of fuzzing (exit 1 if anything still diverges)",
+    )
 
     lint = sub.add_parser(
         "lint",
@@ -359,9 +435,144 @@ def _cmd_doctor(args: argparse.Namespace) -> int:
         schemes=schemes,
         instructions=args.instructions,
         lint_preflight=not args.no_lint,
+        fuzz_smoke=not args.no_fuzz,
     )
     print(report.render())
     return 0 if report.ok else 1
+
+
+def _fuzz_schemes(spec: Optional[str]) -> tuple:
+    from repro.fuzz import DEFAULT_FUZZ_SCHEMES
+
+    if spec is None:
+        return tuple(DEFAULT_FUZZ_SCHEMES)
+    return tuple(name.strip() for name in spec.split(",") if name.strip())
+
+
+def _fuzz_profiles(spec: Optional[str]) -> tuple:
+    from repro.fuzz import PROFILES
+    from repro.fuzz.profiles import resolve_profiles
+
+    if spec is None:
+        return tuple(PROFILES.values())
+    return resolve_profiles(
+        tuple(name.strip() for name in spec.split(",") if name.strip())
+    )
+
+
+def _cmd_fuzz_replay(path: str) -> int:
+    """Replay a repro file or a failure manifest; exit 1 on divergence."""
+    import json as _json
+
+    from repro.fuzz import KIND_CLEAN, ReproFile, replay_manifest
+
+    payload = None
+    try:
+        payload = _json.loads(open(path).read())
+    except (OSError, ValueError) as error:
+        print(f"error: cannot read {path}: {error}", file=sys.stderr)
+        return 1
+    if isinstance(payload, dict) and "program" in payload:
+        repro = ReproFile.load(path)
+        if repro.config_drifted():
+            print(f"warning: {path}: config edited after fingerprinting")
+        report = repro.replay()
+        print(f"{path}: {report.summary()}")
+        if repro.mutation is not None:
+            # A mutation-sourced repro is *supposed* to diverge when the
+            # recorded bug is re-injected; the stock simulator must be
+            # clean.  Check both so the file proves what it claims.
+            stock = repro.replay(mutation=None)
+            print(f"{path} (stock simulator): {stock.summary()}")
+            faithful = report.kind == repro.kind and stock.clean
+            return 0 if faithful else 1
+        return 0 if report.clean else 1
+    reports = replay_manifest(path)
+    if not reports:
+        print(f"{path}: no replayable entries")
+        return 0
+    worst = 0
+    for label, report in reports:
+        print(f"{label}: {report.summary()}")
+        if report.kind != KIND_CLEAN:
+            worst = 1
+    return worst
+
+
+def _cmd_fuzz_selftest(args: argparse.Namespace) -> int:
+    """Prove the oracle + shrinker end to end with an injected bug."""
+    from repro.fuzz import MUTATIONS, FuzzSession
+
+    mutation = args.mutation or next(iter(sorted(MUTATIONS)))
+    session = FuzzSession(
+        schemes=_fuzz_schemes(args.schemes),
+        matrix=args.matrix,
+        jobs=args.jobs,
+        job_timeout=args.job_timeout,
+        retries=args.retries,
+        repro_dir=args.repro_dir,
+        mutation=mutation,
+        minimize_findings=True,
+    )
+    seeds = list(range(args.seed_start, args.seed_start + max(args.seeds, 1)))
+    summary = session.run(seeds, _fuzz_profiles(args.profiles),
+                          time_budget=args.time_budget)
+    print(summary.render())
+    if not summary.findings:
+        print(
+            f"selftest FAILED: mutation {mutation!r} produced no findings "
+            f"over {len(seeds)} seed(s)",
+            file=sys.stderr,
+        )
+        return 1
+    from repro.fuzz import ReproFile
+
+    small_enough = False
+    for finding in summary.findings:
+        if finding.repro_path is None:
+            continue
+        repro = ReproFile.load(finding.repro_path)
+        print(
+            f"selftest: {finding.job.label} minimized "
+            f"{repro.original_instructions} -> "
+            f"{repro.minimized_instructions} instruction(s)"
+        )
+        small_enough |= repro.minimized_instructions <= 10
+    if not small_enough:
+        print(
+            "selftest FAILED: no finding minimized to <= 10 instructions",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"selftest OK: oracle caught {mutation!r} and shrank the repro")
+    return 0
+
+
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    if args.replay is not None:
+        return _cmd_fuzz_replay(args.replay)
+    if args.selftest:
+        return _cmd_fuzz_selftest(args)
+    from repro.fuzz import FuzzSession
+
+    session = FuzzSession(
+        schemes=_fuzz_schemes(args.schemes),
+        matrix=args.matrix,
+        jobs=args.jobs,
+        job_timeout=args.job_timeout,
+        retries=args.retries,
+        repro_dir=args.repro_dir,
+        mutation=args.mutation,
+        minimize_findings=not args.no_minimize,
+    )
+    seeds = list(range(args.seed_start, args.seed_start + args.seeds))
+    summary = session.run(seeds, _fuzz_profiles(args.profiles),
+                          time_budget=args.time_budget)
+    print(summary.render())
+    if args.mutation is not None:
+        # With an injected bug, findings are the expected outcome.
+        return 0 if summary.findings and not summary.failures else 1
+    return 0 if summary.ok else 1
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
@@ -416,6 +627,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_trace(args)
         if args.command == "doctor":
             return _cmd_doctor(args)
+        if args.command == "fuzz":
+            return _cmd_fuzz(args)
         if args.command == "lint":
             # Lint handles its own errors: findings are exit 1, misuse
             # (LintUsageError) exit 2 — distinct from ReproError below.

@@ -1,0 +1,175 @@
+"""Self-contained repro files and the checked-in regression corpus.
+
+A :class:`ReproFile` is everything needed to re-observe one fuzz finding
+with zero additional context: the generator seed and knob profile that
+produced the program, the exact system config (plus its fingerprint, so
+config drift is detectable), the scheme list and matrix shape, the
+mutation (if the finding came from an oracle self-test), the verdict,
+and the **minimized** program itself — serialized instruction by
+instruction, with a human-readable listing alongside for triage.
+
+Minimized findings get checked into ``tests/fuzz/corpus/`` where pytest
+replays them forever: a finding fixed once stays fixed.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.common.config import (
+    SystemConfig,
+    config_fingerprint,
+    config_from_dict,
+    config_to_dict,
+)
+from repro.common.errors import ConfigError
+from repro.fuzz.differential import MatrixReport, run_matrix
+from repro.isa.program import Program
+
+REPRO_FORMAT_VERSION = 1
+
+
+@dataclass
+class ReproFile:
+    """One minimized fuzz finding, replayable in isolation."""
+
+    seed: int
+    profile: Dict[str, Any]
+    schemes: List[str]
+    matrix: str
+    config: Dict[str, Any]
+    fingerprint: str
+    kind: str
+    divergences: List[str]
+    program: Dict[str, Any]
+    listing: str
+    mutation: Optional[str] = None
+    original_instructions: int = 0
+    minimized_instructions: int = 0
+    version: int = REPRO_FORMAT_VERSION
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_finding(
+        cls,
+        seed: int,
+        profile: Dict[str, Any],
+        schemes: Sequence[str],
+        matrix: str,
+        config: SystemConfig,
+        report: MatrixReport,
+        minimized: Program,
+        original_length: int,
+        mutation: Optional[str] = None,
+    ) -> "ReproFile":
+        return cls(
+            seed=seed,
+            profile=dict(profile),
+            schemes=list(schemes),
+            matrix=matrix,
+            config=config_to_dict(config),
+            fingerprint=config_fingerprint(config),
+            kind=report.kind,
+            divergences=list(report.divergences),
+            program=minimized.to_dict(),
+            listing=minimized.disassemble(),
+            mutation=mutation,
+            original_instructions=original_length,
+            minimized_instructions=len(minimized),
+        )
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "version": self.version,
+            "seed": self.seed,
+            "profile": self.profile,
+            "schemes": self.schemes,
+            "matrix": self.matrix,
+            "config": self.config,
+            "fingerprint": self.fingerprint,
+            "kind": self.kind,
+            "divergences": self.divergences,
+            "mutation": self.mutation,
+            "original_instructions": self.original_instructions,
+            "minimized_instructions": self.minimized_instructions,
+            "program": self.program,
+            "listing": self.listing,
+            "extra": self.extra,
+        }
+
+    def save(self, path: os.PathLike) -> Path:
+        target = Path(path)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        tmp = target.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_text(json.dumps(self.to_dict(), indent=2, sort_keys=True))
+        tmp.replace(target)
+        return target
+
+    @classmethod
+    def load(cls, path: os.PathLike) -> "ReproFile":
+        source = Path(path)
+        try:
+            payload = json.loads(source.read_text())
+        except (OSError, json.JSONDecodeError) as error:
+            raise ConfigError(f"cannot read repro file {source}: {error}")
+        if "program" not in payload:
+            raise ConfigError(
+                f"{source} is not a fuzz repro file (no 'program' entry)"
+            )
+        fields = {
+            key: payload[key]
+            for key in cls.__dataclass_fields__
+            if key in payload
+        }
+        return cls(**fields)
+
+    # ------------------------------------------------------------------
+    # Replay
+    # ------------------------------------------------------------------
+    def build_program(self) -> Program:
+        return Program.from_dict(self.program)
+
+    def build_config(self) -> SystemConfig:
+        return config_from_dict(self.config)
+
+    def replay(self, mutation: Optional[str] = "recorded") -> MatrixReport:
+        """Re-run the recorded matrix on the recorded minimized program.
+
+        ``mutation="recorded"`` (default) replays exactly what was
+        captured — a mutation-sourced finding re-diverges, proving the
+        repro file is faithful.  Pass ``mutation=None`` to replay on the
+        *stock* simulator: corpus entries born from mutations must then
+        come back clean, which is the regression guarantee the checked-in
+        corpus enforces.
+        """
+        applied = self.mutation if mutation == "recorded" else mutation
+        return run_matrix(
+            self.build_program(),
+            self.schemes,
+            config=self.build_config(),
+            matrix=self.matrix,
+            mutation=applied,
+        )
+
+    def config_drifted(self) -> bool:
+        """True when the recorded fingerprint no longer matches the
+        recorded config (the file was edited inconsistently)."""
+        return config_fingerprint(self.build_config()) != self.fingerprint
+
+
+def corpus_entries(directory: os.PathLike) -> List[Path]:
+    """Every repro file in a corpus directory, sorted for determinism."""
+    root = Path(directory)
+    if not root.is_dir():
+        return []
+    return sorted(root.glob("*.json"))

@@ -1,0 +1,279 @@
+"""The cross-scheme differential oracle.
+
+One program, many executions, one verdict.  A generated program is run
+under every requested scheme × ``idle_skip`` {on, off} × guardrails
+{off, full}, and every execution must:
+
+* commit exactly the architectural state (registers, memory, halt) the
+  in-order reference interpreter produces — secure speculation schemes
+  are *timing* mechanisms and must never change dataflow;
+* agree bit-for-bit on committed-instruction count with every other
+  execution of the same program;
+* within a (scheme, guardrails) pair, produce bit-identical
+  :class:`~repro.common.stats.SimStats` across ``idle_skip`` modes —
+  the event-driven loop is an optimization, never a semantic;
+* finish without tripping the invariant checker, the deadlock watchdog,
+  or the cycle budget.
+
+Anything else is a *finding*, classified by ``kind`` so the shrinker can
+demand the same failure from smaller candidates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.common.config import GuardrailConfig, SystemConfig, small_config
+from repro.common.errors import ExecutionError, ReproError
+from repro.isa.program import Program
+from repro.oracle import (
+    Snapshot,
+    arch_snapshot,
+    diff_snapshots,
+    interpret_reference,
+    reference_snapshot,
+)
+from repro.pipeline.core import Core
+
+#: Divergence/verdict kinds, from most to least specific.
+KIND_CLEAN = "clean"
+KIND_ARCH = "arch-divergence"
+KIND_STATS = "stats-divergence"
+KIND_ERROR = "error"
+KIND_REFERENCE_LIMIT = "reference-limit"
+
+#: The guardrail cadence differential runs pin: full checking, frequent
+#: sweeps, no crash dumps (failures travel back as data).
+FUZZ_CHECK_INTERVAL = 64
+
+#: Commit-budget slack over the reference execution.  A correct core
+#: commits exactly the reference's dynamic instruction count; a core (or
+#: an injected mutation) that corrupts control flow can loop forever, so
+#: every matrix cell is capped at ``factor × reference + slack`` commits
+#: and judged on the state it reached — a non-halted snapshot is an
+#: architectural divergence, not a hang.
+COMMIT_BUDGET_FACTOR = 2
+COMMIT_BUDGET_SLACK = 256
+
+
+def commit_budget(reference_instructions: int) -> int:
+    return COMMIT_BUDGET_FACTOR * reference_instructions + COMMIT_BUDGET_SLACK
+
+
+@dataclass(frozen=True)
+class ExecutionMode:
+    """One cell of the execution matrix."""
+
+    scheme: str
+    idle_skip: bool
+    guardrails: str
+
+    def describe(self) -> str:
+        return (
+            f"{self.scheme} idle_skip={'on' if self.idle_skip else 'off'} "
+            f"guardrails={self.guardrails}"
+        )
+
+
+@dataclass
+class Execution:
+    """Outcome of one mode: a snapshot, or the error that prevented one."""
+
+    mode: ExecutionMode
+    ok: bool
+    snapshot: Optional[Snapshot] = None
+    stats: Optional[Dict[str, Any]] = None
+    error_type: Optional[str] = None
+    message: str = ""
+
+
+@dataclass
+class MatrixReport:
+    """The oracle's verdict on one program."""
+
+    program_name: str
+    kind: str
+    divergences: List[str] = field(default_factory=list)
+    executions: List[Execution] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return self.kind == KIND_CLEAN
+
+    def summary(self) -> str:
+        if self.clean:
+            return f"{self.program_name}: clean ({len(self.executions)} executions)"
+        lines = [
+            f"{self.program_name}: {self.kind} "
+            f"({len(self.divergences)} divergence(s))"
+        ]
+        lines.extend(f"  {entry}" for entry in self.divergences[:12])
+        if len(self.divergences) > 12:
+            lines.append(f"  ... {len(self.divergences) - 12} more")
+        return "\n".join(lines)
+
+
+def matrix_modes(
+    schemes: Sequence[str], matrix: str = "full"
+) -> List[ExecutionMode]:
+    """The execution matrix for a scheme list.
+
+    ``"full"`` crosses schemes × idle_skip {on, off} × guardrails
+    {off, full}; ``"schemes"`` keeps one cell per scheme (idle_skip on,
+    guardrails full) for cheap smokes.
+    """
+    modes: List[ExecutionMode] = []
+    for scheme in schemes:
+        if matrix == "schemes":
+            modes.append(ExecutionMode(scheme, True, "full"))
+            continue
+        for idle_skip in (True, False):
+            for guardrails in ("off", "full"):
+                modes.append(ExecutionMode(scheme, idle_skip, guardrails))
+    return modes
+
+
+def fuzz_config(base: Optional[SystemConfig] = None) -> SystemConfig:
+    """The baseline config differential runs derive their modes from."""
+    return base if base is not None else small_config()
+
+
+def run_mode(
+    program: Program,
+    mode: ExecutionMode,
+    config: SystemConfig,
+    mutation: Optional[str] = None,
+    max_instructions: Optional[int] = None,
+) -> Execution:
+    """Run one matrix cell; never raises, errors come back as data."""
+    # Imported here: mutations import schemes, and keeping the scheme
+    # factory out of module scope keeps this module importable from
+    # anywhere (including workers) without ordering concerns.
+    from repro.fuzz.mutations import make_scheme_variant
+
+    mode_config = config.with_overrides(
+        guardrails=GuardrailConfig(
+            level=mode.guardrails,
+            check_interval=FUZZ_CHECK_INTERVAL,
+        )
+    )
+    try:
+        scheme = make_scheme_variant(mode.scheme, mutation)
+        core = Core(
+            program, scheme, config=mode_config, idle_skip=mode.idle_skip
+        )
+        core.run(max_instructions=max_instructions)
+        return Execution(
+            mode=mode,
+            ok=True,
+            snapshot=arch_snapshot(core),
+            stats=core.stats.as_dict(),
+        )
+    except ReproError as error:
+        return Execution(
+            mode=mode,
+            ok=False,
+            error_type=type(error).__name__,
+            message=str(error),
+        )
+    except Exception as error:  # infrastructure bug — still a finding
+        return Execution(
+            mode=mode,
+            ok=False,
+            error_type=type(error).__name__,
+            message=str(error) or repr(error),
+        )
+
+
+def run_matrix(
+    program: Program,
+    schemes: Sequence[str],
+    config: Optional[SystemConfig] = None,
+    matrix: str = "full",
+    mutation: Optional[str] = None,
+) -> MatrixReport:
+    """Run the full execution matrix for ``program`` and judge it."""
+    config = fuzz_config(config)
+    try:
+        reference_result = interpret_reference(program)
+    except ExecutionError as error:
+        return MatrixReport(
+            program_name=program.name,
+            kind=KIND_REFERENCE_LIMIT,
+            divergences=[f"reference interpreter: {error}"],
+        )
+    reference = reference_snapshot(reference_result)
+    budget = commit_budget(reference_result.instructions_executed)
+
+    executions = [
+        run_mode(program, mode, config, mutation, max_instructions=budget)
+        for mode in matrix_modes(schemes, matrix)
+    ]
+    divergences: List[str] = []
+    errors: List[str] = []
+
+    committed_baseline: Optional[Tuple[str, int]] = None
+    for execution in executions:
+        label = execution.mode.describe()
+        if not execution.ok:
+            errors.append(f"[{label}] {execution.error_type}: {execution.message}")
+            continue
+        assert execution.snapshot is not None
+        problems = diff_snapshots(
+            reference, execution.snapshot, ignore=("committed",)
+        )
+        divergences.extend(f"[{label}] {entry}" for entry in problems)
+        committed = execution.snapshot["committed"]
+        if committed_baseline is None:
+            committed_baseline = (label, committed)
+        elif committed != committed_baseline[1]:
+            divergences.append(
+                f"[{label}] committed {committed} instructions, but "
+                f"[{committed_baseline[0]}] committed {committed_baseline[1]}"
+            )
+
+    divergences.extend(_stats_divergences(executions))
+
+    if divergences:
+        kind = KIND_ARCH if _has_arch_divergence(divergences) else KIND_STATS
+        divergences.extend(errors)
+        return MatrixReport(program.name, kind, divergences, executions)
+    if errors:
+        return MatrixReport(program.name, KIND_ERROR, errors, executions)
+    return MatrixReport(program.name, KIND_CLEAN, [], executions)
+
+
+def _has_arch_divergence(divergences: List[str]) -> bool:
+    return any(" stats[" not in entry for entry in divergences)
+
+
+def _stats_divergences(executions: Sequence[Execution]) -> List[str]:
+    """Bit-identity of SimStats across idle_skip, per (scheme, guardrails).
+
+    This is PR 5's event-driven equivalence contract, enforced on every
+    fuzzed program rather than only on the hand-written suite.
+    """
+    grouped: Dict[Tuple[str, str], List[Execution]] = {}
+    for execution in executions:
+        if not execution.ok or execution.stats is None:
+            continue
+        key = (execution.mode.scheme, execution.mode.guardrails)
+        grouped.setdefault(key, []).append(execution)
+    problems: List[str] = []
+    for (scheme, guardrails), group in sorted(grouped.items()):
+        if len(group) < 2:
+            continue
+        baseline = group[0]
+        assert baseline.stats is not None
+        for other in group[1:]:
+            assert other.stats is not None
+            for counter in baseline.stats:
+                a = baseline.stats[counter]
+                b = other.stats[counter]
+                if a != b:
+                    problems.append(
+                        f"[{scheme} guardrails={guardrails}] stats[{counter}]: "
+                        f"idle_skip=on {a} vs idle_skip=off {b}"
+                    )
+    return problems

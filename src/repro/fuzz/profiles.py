@@ -1,0 +1,183 @@
+"""Knob-driven shape profiles for the random program generator.
+
+A :class:`FuzzProfile` is a bag of densities and depths describing what
+kind of microarchitectural pressure a generated program should apply —
+the UStress idea of parameterized stress streams, aimed at the corners
+where secure-speculation schemes have historically broken: speculative
+shadows (branch density), the load/store queues (load-after-store and
+store bursts), delayed resolution (pointer chases), and each level of
+the cache hierarchy (footprint targeting).
+
+Profiles are plain data: they serialize into fuzz job specs and repro
+files, and a (profile, seed) pair fully determines a program.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Any, Dict, Mapping, Tuple
+
+from repro.common.errors import ConfigError
+
+#: Data footprint, in 8-byte words, that lands working sets at each level
+#: of the *small_config* hierarchy (L1 2 KB, L2 16 KB, L3 64 KB).  A
+#: footprint one level up overflows everything below it, so "l3" streams
+#: miss L1+L2 and "dram" misses the whole hierarchy.
+FOOTPRINT_WORDS: Dict[str, int] = {
+    "l1": 128,  # 1 KB: fits L1
+    "l2": 1024,  # 8 KB: overflows L1, fits L2
+    "l3": 4096,  # 32 KB: overflows L2, fits L3
+    "dram": 16384,  # 128 KB: overflows the whole hierarchy
+}
+
+#: Where generated programs put their data and output arrays.  Disjoint
+#: so output stores never alias the pointer-chase data.
+DATA_BASE = 0x100000
+OUT_BASE = 0x400000
+
+
+@dataclass(frozen=True)
+class FuzzProfile:
+    """One named shape for generated programs.
+
+    Densities are weights, not probabilities: each body slot draws a
+    kind proportionally to the densities, so they only need to be
+    non-negative (and not all zero).
+    """
+
+    name: str
+    length: int = 48
+    """Instruction slots in the loop body (dynamic length ≈ length × trips)."""
+    loop_trips: int = 2
+    """How many times the outer loop runs (backward-branch pressure)."""
+    alu_density: float = 4.0
+    mul_density: float = 1.0
+    """Long-latency ALU pressure (MUL keeps shadows open longer)."""
+    branch_density: float = 2.0
+    """Forward data-dependent branches (speculative shadow pressure)."""
+    load_density: float = 3.0
+    store_density: float = 1.5
+    chase_density: float = 1.0
+    """Dependent pointer-chase bursts (serial, delayed resolution)."""
+    pointer_chase_depth: int = 3
+    """Loads per chase burst, each address-dependent on the previous."""
+    load_after_store: float = 1.0
+    """Store immediately reread by a load (forwarding/LQ-SQ pressure)."""
+    store_burst: int = 0
+    """Extra consecutive stores per store slot (store-buffer saturation)."""
+    target_level: str = "l1"
+    """Which cache level the data footprint is sized to stress."""
+    sequential_stride: int = 0
+    """> 0 streams loads sequentially by this many words (prefetch-like
+    access pattern) instead of drawing random offsets."""
+
+    def validate(self) -> None:
+        if self.length < 4:
+            raise ConfigError(f"profile {self.name}: length must be >= 4")
+        if self.loop_trips < 1:
+            raise ConfigError(f"profile {self.name}: loop_trips must be >= 1")
+        if self.target_level not in FOOTPRINT_WORDS:
+            raise ConfigError(
+                f"profile {self.name}: unknown target_level "
+                f"{self.target_level!r} (choose from "
+                f"{sorted(FOOTPRINT_WORDS)})"
+            )
+        if self.pointer_chase_depth < 1:
+            raise ConfigError(
+                f"profile {self.name}: pointer_chase_depth must be >= 1"
+            )
+        if self.store_burst < 0 or self.sequential_stride < 0:
+            raise ConfigError(
+                f"profile {self.name}: store_burst/sequential_stride must "
+                "be >= 0"
+            )
+        densities = self.kind_weights()
+        if any(weight < 0 for weight in densities.values()):
+            raise ConfigError(f"profile {self.name}: densities must be >= 0")
+        if sum(densities.values()) <= 0:
+            raise ConfigError(f"profile {self.name}: all densities are zero")
+
+    def kind_weights(self) -> Dict[str, float]:
+        """Body-slot kinds and their draw weights."""
+        return {
+            "alu": self.alu_density,
+            "mul": self.mul_density,
+            "branch": self.branch_density,
+            "load": self.load_density,
+            "store": self.store_density,
+            "chase": self.chase_density,
+            "load_after_store": self.load_after_store,
+        }
+
+    @property
+    def footprint_words(self) -> int:
+        return FOOTPRINT_WORDS[self.target_level]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "FuzzProfile":
+        unknown = set(payload) - set(cls.__dataclass_fields__)
+        if unknown:
+            raise ConfigError(
+                f"unknown fuzz profile knob(s): {sorted(unknown)}"
+            )
+        profile = cls(**dict(payload))
+        profile.validate()
+        return profile
+
+
+#: The named profile library: one entry per pressure corner.  ``default``
+#: mixes everything lightly; the rest each push one axis hard.
+PROFILES: Dict[str, FuzzProfile] = {
+    profile.name: profile
+    for profile in (
+        FuzzProfile(name="default"),
+        FuzzProfile(
+            name="branchy",
+            branch_density=6.0,
+            alu_density=3.0,
+            load_density=2.0,
+            loop_trips=3,
+        ),
+        FuzzProfile(
+            name="chase",
+            chase_density=4.0,
+            pointer_chase_depth=6,
+            load_density=1.0,
+            branch_density=1.0,
+            target_level="l3",
+        ),
+        FuzzProfile(
+            name="store_pressure",
+            store_density=5.0,
+            load_after_store=4.0,
+            store_burst=4,
+            load_density=1.0,
+            branch_density=1.0,
+        ),
+        FuzzProfile(
+            name="streaming",
+            sequential_stride=1,
+            load_density=6.0,
+            branch_density=0.5,
+            chase_density=0.0,
+            target_level="dram",
+            length=32,
+        ),
+    )
+}
+
+
+def get_profile(name: str) -> FuzzProfile:
+    try:
+        return PROFILES[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown fuzz profile {name!r} (choose from {sorted(PROFILES)})"
+        ) from None
+
+
+def resolve_profiles(names: Tuple[str, ...]) -> Tuple[FuzzProfile, ...]:
+    return tuple(get_profile(name) for name in names)

@@ -1,0 +1,157 @@
+"""Delta-debugging shrinker: minimize a failing program.
+
+Greedy chunked minimization (ddmin's core loop): try deleting ever
+smaller chunks of instructions, keeping any deletion under which the
+program *still fails the same way*, until no single instruction can be
+removed.  Then shrink the data image and initial registers the same way.
+
+Correctness details that make candidates well-formed:
+
+* deleting instructions renumbers every branch target — targets are
+  remapped through a ``bisect_left`` over the kept indices, so a branch
+  keeps pointing at the same surviving instruction (or the next one
+  after a deleted target);
+* the trailing ``halt`` is never deleted: a program that runs off its
+  end never sets ``halted`` and would "fail" for an uninteresting
+  reason;
+* the predicate decides "still fails the same way" (same divergence
+  ``kind``), so the shrinker cannot wander from an architectural
+  divergence to, say, a reference-interpreter budget blowup.
+
+Everything here is deterministic: the same failing program and predicate
+always minimize to the same result.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Callable, Dict, List, Sequence
+
+from repro.common.errors import ConfigError
+from repro.isa.instructions import Instruction, Opcode
+from repro.isa.program import Program
+
+Predicate = Callable[[Program], bool]
+"""True iff the candidate still exhibits the original failure."""
+
+
+def remap_instructions(
+    instructions: Sequence[Instruction], kept: Sequence[int]
+) -> List[Instruction]:
+    """The instructions at ``kept`` (sorted original indices), with every
+    branch target translated into the new numbering.
+
+    A target that was deleted maps to the first surviving instruction at
+    or after it; a target past the last kept index maps to the program
+    end (an explicit exit, which the builder and interpreter both
+    define).
+    """
+    out: List[Instruction] = []
+    for index in kept:
+        inst = instructions[index]
+        if inst.is_branch:
+            new_target = bisect_left(kept, inst.imm)
+            if new_target != inst.imm:
+                inst = Instruction(
+                    inst.opcode,
+                    rd=inst.rd,
+                    rs1=inst.rs1,
+                    rs2=inst.rs2,
+                    imm=new_target,
+                    label=inst.label,
+                )
+        out.append(inst)
+    return out
+
+
+def _subprogram(program: Program, kept: Sequence[int]) -> Program:
+    return Program(
+        remap_instructions(program.instructions, kept),
+        initial_memory=program.initial_memory,
+        initial_registers=program.initial_registers,
+        name=program.name,
+    )
+
+
+def _minimize_instructions(program: Program, predicate: Predicate) -> Program:
+    instructions = program.instructions
+    # Indices the shrinker may delete; a trailing HALT is pinned.
+    kept = list(range(len(instructions)))
+    pinned = set()
+    if instructions and instructions[-1].opcode is Opcode.HALT:
+        pinned.add(len(instructions) - 1)
+
+    chunk = max(1, len(kept) // 2)
+    while chunk >= 1:
+        index = 0
+        while index < len(kept):
+            window = [
+                i for i in kept[index : index + chunk] if i not in pinned
+            ]
+            if not window:
+                index += chunk
+                continue
+            candidate_kept = [i for i in kept if i not in set(window)]
+            if candidate_kept and predicate(
+                _subprogram(program, candidate_kept)
+            ):
+                kept = candidate_kept
+                # Do not advance: the next chunk slid into this position.
+            else:
+                index += chunk
+        chunk //= 2
+    return _subprogram(program, kept)
+
+
+def _minimize_mapping(
+    program: Program,
+    predicate: Predicate,
+    which: str,
+) -> Program:
+    """Shrink ``initial_memory`` or ``initial_registers`` the same way."""
+    mapping: Dict[int, int] = dict(getattr(program, which))
+    keys = sorted(mapping)
+
+    def rebuild(kept_keys: Sequence[int]) -> Program:
+        trimmed = {key: mapping[key] for key in kept_keys}
+        kwargs = {
+            "initial_memory": program.initial_memory,
+            "initial_registers": program.initial_registers,
+            which: trimmed,
+        }
+        return Program(program.instructions, name=program.name, **kwargs)
+
+    chunk = max(1, len(keys) // 2)
+    while chunk >= 1 and keys:
+        index = 0
+        while index < len(keys):
+            candidate_keys = keys[:index] + keys[index + chunk :]
+            if predicate(rebuild(candidate_keys)):
+                keys = candidate_keys
+            else:
+                index += chunk
+        chunk //= 2
+    return rebuild(keys)
+
+
+def minimize(program: Program, predicate: Predicate) -> Program:
+    """Minimize ``program`` while ``predicate`` keeps holding.
+
+    ``predicate(program)`` must be True on entry (the caller observed the
+    failure); the result is 1-minimal per pass: deleting any single
+    remaining instruction, data word, or register seed makes the failure
+    disappear or change kind.
+    """
+    if not predicate(program):
+        raise ConfigError(
+            f"{program.name}: predicate does not hold on the original "
+            "program; nothing to minimize"
+        )
+    shrunk = _minimize_instructions(program, predicate)
+    shrunk = _minimize_mapping(shrunk, predicate, "initial_memory")
+    shrunk = _minimize_mapping(shrunk, predicate, "initial_registers")
+    # Instruction deletions may have become possible after the data
+    # image shrank (and vice versa); one more pass reaches a fixpoint in
+    # practice for the program sizes the generator emits.
+    shrunk = _minimize_instructions(shrunk, predicate)
+    return shrunk

@@ -114,17 +114,29 @@ class DoctorReport:
     #: "skipped" when the caller disabled it (--no-lint).
     lint_status: str = "skipped"
     lint_findings: int = 0
+    #: differential fuzz smoke outcome: "clean", "N finding(s)/...", or
+    #: "skipped" when the caller disabled it (--no-fuzz).
+    fuzz_status: str = "skipped"
+    fuzz_findings: int = 0
 
     @property
     def ok(self) -> bool:
-        return self.lint_findings == 0 and all(row.ok for row in self.rows)
+        return (
+            self.lint_findings == 0
+            and self.fuzz_findings == 0
+            and all(row.ok for row in self.rows)
+        )
 
     def render(self) -> str:
         width = max(len(row.scheme) for row in self.rows) + 2
         header = "scheme".ljust(width) + "".join(
             name.ljust(14) for name in INVARIANT_CLASSES
         )
-        lines = [f"static preflight (repro lint): {self.lint_status}", ""]
+        lines = [
+            f"static preflight (repro lint): {self.lint_status}",
+            f"differential fuzz smoke: {self.fuzz_status}",
+            "",
+        ]
         lines += [header, "-" * len(header)]
         for row in self.rows:
             cells = "".join(
@@ -178,17 +190,63 @@ def _lint_preflight() -> Tuple[str, int]:
     )
 
 
+#: Schemes exercised by the doctor's differential fuzz smoke: the unsafe
+#: baseline plus the paper's headline scheme is enough to catch a broken
+#: commit path while keeping the smoke to a couple of seconds.
+FUZZ_SMOKE_SCHEMES: Tuple[str, ...] = ("unsafe", "dom+ap")
+FUZZ_SMOKE_SEEDS: Tuple[int, ...] = (0, 1, 2)
+
+
+def _fuzz_smoke() -> Tuple[str, int]:
+    """Tiny differential fuzz pass; ``(status_line, finding_count)``.
+
+    A few seeded random programs, one execution per scheme (matrix
+    ``"schemes"``), run inline — no pools, no repro files.  Any
+    architectural divergence or infrastructure failure fails the doctor
+    just like an invariant violation would.
+    """
+    from repro.fuzz import PROFILES, FuzzSession
+
+    session = FuzzSession(
+        schemes=FUZZ_SMOKE_SCHEMES,
+        matrix="schemes",
+        jobs=1,
+        minimize_findings=False,
+    )
+    summary = session.run(list(FUZZ_SMOKE_SEEDS), tuple(PROFILES.values()))
+    problems = len(summary.findings) + len(summary.failures)
+    if problems == 0:
+        return (
+            f"clean ({summary.programs} programs x "
+            f"{len(FUZZ_SMOKE_SCHEMES)} schemes, {summary.elapsed:.1f}s)",
+            0,
+        )
+    first = (
+        summary.findings[0].summary()
+        if summary.findings
+        else f"{summary.failures[0].error_type}: {summary.failures[0].message}"
+    )
+    return (
+        f"{problems} problem(s) — run `repro fuzz` for details "
+        f"(first: {first})",
+        problems,
+    )
+
+
 def run_doctor(
     schemes: Tuple[str, ...] = DOCTOR_SCHEMES,
     instructions: int = 4000,
     config: Optional[SystemConfig] = None,
     lint_preflight: bool = True,
+    fuzz_smoke: bool = True,
 ) -> DoctorReport:
     """Run the smoke program under every scheme with full guardrails.
 
     ``lint_preflight`` additionally self-lints the installed package
     (reprolint with the packaged baseline) before simulating; findings
-    fail the report just like invariant violations.
+    fail the report just like invariant violations.  ``fuzz_smoke`` adds
+    a small differential fuzz pass (a few seeds, two schemes) checking
+    architectural equivalence end to end.
     """
     from repro.pipeline.core import Core
     from repro.schemes import make_scheme
@@ -196,6 +254,10 @@ def run_doctor(
     lint_status, lint_findings = ("skipped", 0)
     if lint_preflight:
         lint_status, lint_findings = _lint_preflight()
+
+    fuzz_status, fuzz_findings = ("skipped", 0)
+    if fuzz_smoke:
+        fuzz_status, fuzz_findings = _fuzz_smoke()
 
     base = config if config is not None else small_config()
     cfg = base.with_overrides(guardrails=GuardrailConfig(level="full"))
@@ -226,4 +288,6 @@ def run_doctor(
         instructions=instructions,
         lint_status=lint_status,
         lint_findings=lint_findings,
+        fuzz_status=fuzz_status,
+        fuzz_findings=fuzz_findings,
     )

@@ -55,15 +55,10 @@ Failure semantics (the fault-tolerance layer):
 from __future__ import annotations
 
 import json
-import math
-import multiprocessing
 import os
-import time
-from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
-from concurrent.futures.process import BrokenProcessPool
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
-from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.common.config import (
     SystemConfig,
@@ -80,6 +75,7 @@ from repro.common.errors import (
     WorkerCrashError,
 )
 from repro.common.stats import RunResult
+from repro.harness.jobs import JobEngine, failure_payload
 from repro.harness.runner import (
     BASELINE_SCHEME,
     DEFAULT_MEASURE,
@@ -118,6 +114,31 @@ class SweepJob:
     ) -> "SweepJob":
         return cls(benchmark, scheme, warmup, measure, config_to_dict(config))
 
+    def spec(self) -> Dict[str, Any]:
+        """The full job as replayable data (manifest ``spec`` entries)."""
+        payload = asdict(self)
+        payload["kind"] = "sweep"
+        return payload
+
+    @classmethod
+    def from_spec(cls, spec: Dict[str, Any]) -> "SweepJob":
+        return cls(
+            benchmark=spec["benchmark"],
+            scheme=spec["scheme"],
+            warmup=spec["warmup"],
+            measure=spec["measure"],
+            config=dict(spec["config"]),
+        )
+
+
+def sweep_job_fields(job: SweepJob) -> Dict[str, Any]:
+    """Label + spec fields attached to every failure payload for ``job``."""
+    return {
+        "benchmark": job.benchmark,
+        "scheme": job.scheme,
+        "spec": job.spec(),
+    }
+
 
 def _failure_payload(
     job: SweepJob,
@@ -126,14 +147,9 @@ def _failure_payload(
     transient: bool,
     **extra: Any,
 ) -> Dict[str, Any]:
-    payload: Dict[str, Any] = {
-        "ok": False,
-        "error_type": error_type,
-        "message": message,
-        "benchmark": job.benchmark,
-        "scheme": job.scheme,
-        "transient": transient,
-    }
+    payload = failure_payload(
+        error_type, message, transient, fields=sweep_job_fields(job)
+    )
     payload.update(extra)
     return payload
 
@@ -190,24 +206,6 @@ def execute_job(job: SweepJob) -> Dict[str, Any]:
         )
 
 
-def _timeout_payload(job: SweepJob, timeout: float) -> Dict[str, Any]:
-    return _failure_payload(
-        job,
-        "JobTimeoutError",
-        f"no result within the {timeout:g}s per-job budget",
-        transient=True,
-    )
-
-
-def _crash_payload(job: SweepJob) -> Dict[str, Any]:
-    return _failure_payload(
-        job,
-        "WorkerCrashError",
-        "worker process died before returning a result",
-        transient=True,
-    )
-
-
 def _raise_job_error(payload: Dict[str, Any]) -> None:
     """Re-raise a failure payload as the typed error it came from."""
     error_type = payload["error_type"]
@@ -255,7 +253,13 @@ class SkippedRun:
 
 @dataclass
 class FailureRecord:
-    """One failed run, as recorded in the failure manifest."""
+    """One failed run, as recorded in the failure manifest.
+
+    ``spec`` carries the *complete* job description (window sizes, full
+    config, generator seed and knobs for fuzz jobs), and ``replay`` the
+    one command that re-runs it — so any manifest entry is reproducible
+    without reconstructing the sweep that produced it.
+    """
 
     benchmark: str
     scheme: str
@@ -265,9 +269,16 @@ class FailureRecord:
     transient: bool = False
     dump_path: Optional[str] = None
     key: List[Any] = field(default_factory=list)
+    spec: Dict[str, Any] = field(default_factory=dict)
+    replay: Optional[str] = None
 
     @classmethod
-    def from_payload(cls, key: RunKey, payload: Dict[str, Any]) -> "FailureRecord":
+    def from_payload(
+        cls,
+        key: Sequence[Any],
+        payload: Dict[str, Any],
+        replay: Optional[str] = None,
+    ) -> "FailureRecord":
         return cls(
             benchmark=payload["benchmark"],
             scheme=payload["scheme"],
@@ -277,7 +288,16 @@ class FailureRecord:
             transient=payload.get("transient", False),
             dump_path=payload.get("dump_path"),
             key=list(key),
+            spec=dict(payload.get("spec", {})),
+            replay=payload.get("replay", replay),
         )
+
+
+def replay_command(manifest_path: Optional[Path]) -> Optional[str]:
+    """The one-liner that re-runs every failure in a manifest."""
+    if manifest_path is None:
+        return None
+    return f"python -m repro fuzz --replay {manifest_path}"
 
 
 class ParallelSession:
@@ -512,148 +532,37 @@ class ParallelSession:
     # The fault-tolerant job engine
     # ------------------------------------------------------------------
     def _run_jobs(self, cold: Sequence[Tuple[RunKey, SweepJob]]) -> None:
-        """Run cold jobs through waves of execution + bounded retry.
+        """Run cold jobs through the generic wave/retry engine.
 
-        Every job resolves exactly once — success, deterministic failure,
-        or transient failure that exhausted its retries — and is stored
-        (memo + disk + failure record) *the moment it resolves*, so an
+        The engine (:class:`~repro.harness.jobs.JobEngine`) owns the
+        failure semantics — bounded retry of transients, per-wave
+        timeouts with worker kill, crash isolation on a broken pool —
+        and calls :meth:`_store` the moment each job resolves, so an
         interrupt can only lose jobs still in flight.
         """
-        unresolved: Dict[int, Tuple[RunKey, SweepJob]] = dict(enumerate(cold))
-        attempts: Dict[int, int] = {index: 0 for index in unresolved}
-        last_transient: Dict[int, Dict[str, Any]] = {}
+        engine = JobEngine(
+            execute_job,
+            jobs=self.jobs,
+            job_timeout=self.job_timeout,
+            retries=self.retries,
+            retry_backoff=self.retry_backoff,
+            mp_context=self.mp_context,
+            describe=sweep_job_fields,
+        )
+        engine.run(cold, self._store_resolved)
 
-        def resolve(index: int, payload: Dict[str, Any]) -> None:
-            attempts[index] += 1
-            final_wave = wave == self.retries
-            if payload["ok"] or not payload.get("transient", False) or final_wave:
-                key, _ = unresolved.pop(index)
-                payload["attempts"] = attempts[index]
-                self.simulated += 1
-                self._store(key, payload)
-            else:
-                last_transient[index] = payload
-
-        for wave in range(self.retries + 1):
-            if not unresolved:
-                break
-            if wave and self.retry_backoff:
-                time.sleep(self.retry_backoff * (2 ** (wave - 1)))
-            self._run_wave(dict(unresolved), resolve)
-
-        # A wave can end without resolving everything only if it was cut
-        # short (pool broke after its futures were marked transient, or a
-        # kill raced a result); record whatever we last saw.
-        for index in list(unresolved):
-            key, job = unresolved.pop(index)
-            payload = last_transient.get(index, _crash_payload(job))
-            payload["attempts"] = max(1, attempts[index])
-            self.simulated += 1
-            self._store(key, payload)
-
-    def _run_wave(
-        self,
-        items: Dict[int, Tuple[RunKey, SweepJob]],
-        resolve: Callable[[int, Dict[str, Any]], None],
-    ) -> None:
-        """One attempt at every unresolved job; calls ``resolve`` per job.
-
-        ``resolve`` fires as each future completes (not after the wave),
-        which is what makes mid-sweep interrupts lossless for finished
-        work.  On a per-wave timeout the hung workers are killed; on a
-        broken pool every in-flight job is reported as a (transient)
-        worker crash and the next wave sorts the culprit from bystanders.
-        """
-        # Inline only for a serial session with no timeout: a wall-clock
-        # budget can only be enforced on a killable child process, and a
-        # parallel session must keep crash isolation even when a retry
-        # wave is down to a single job — running that job in the parent
-        # would let a crashing worker take the whole sweep with it.
-        if self.jobs == 1 and self.job_timeout is None:
-            for index, (_, job) in items.items():
-                resolve(index, execute_job(job))
-            return
-
-        workers = min(self.jobs, len(items))
-        context = multiprocessing.get_context(self.mp_context)
-        executor = ProcessPoolExecutor(max_workers=workers, mp_context=context)
-        try:
-            futures: Dict[Future, int] = {
-                executor.submit(execute_job, job): index
-                for index, (_, job) in items.items()
-            }
-            pending = set(futures)
-            deadline = None
-            if self.job_timeout is not None:
-                # Each worker may serve ceil(n / workers) queued jobs.
-                budget = self.job_timeout * math.ceil(len(items) / workers)
-                deadline = time.monotonic() + budget
-            while pending:
-                timeout = None
-                if deadline is not None:
-                    timeout = max(0.0, deadline - time.monotonic())
-                done, pending = wait(
-                    pending, timeout=timeout, return_when=FIRST_COMPLETED
-                )
-                if not done:
-                    # Wave budget exhausted: everything still in flight is
-                    # a timeout; kill the stuck workers so the pool dies
-                    # with this wave instead of leaking hung processes.
-                    for future in pending:
-                        index = futures[future]
-                        resolve(index, _timeout_payload(items[index][1], self.job_timeout))
-                    self._kill_workers(executor)
-                    return
-                broken = False
-                for future in done:
-                    index = futures[future]
-                    try:
-                        payload = future.result()
-                    except BrokenProcessPool:
-                        payload = _crash_payload(items[index][1])
-                        broken = True
-                    except Exception as error:  # unpicklable payloads etc.
-                        payload = _failure_payload(
-                            items[index][1],
-                            type(error).__name__,
-                            str(error) or repr(error),
-                            transient=True,
-                        )
-                    resolve(index, payload)
-                if broken:
-                    # The pool is gone; every remaining future died with
-                    # it.  CPython cannot say *which* worker crashed, so
-                    # all of them go back for retry — the deterministic
-                    # culprit fails again, the bystanders complete.
-                    for future in pending:
-                        index = futures[future]
-                        resolve(index, _crash_payload(items[index][1]))
-                    return
-        except BaseException:
-            # Ctrl-C (or an unexpected bug) mid-wave: results already
-            # resolved are stored; kill the workers so the interpreter
-            # does not block on join at exit.
-            self._kill_workers(executor)
-            raise
-        finally:
-            executor.shutdown(wait=False, cancel_futures=True)
-
-    @staticmethod
-    def _kill_workers(executor: ProcessPoolExecutor) -> None:
-        processes = getattr(executor, "_processes", None) or {}
-        for process in list(processes.values()):
-            try:
-                process.kill()
-            except (OSError, AttributeError):  # already gone
-                pass
+    def _store_resolved(self, key: RunKey, payload: Dict[str, Any]) -> None:
+        self.simulated += 1
+        self._store(key, payload)
 
     # ------------------------------------------------------------------
     # Failure introspection
     # ------------------------------------------------------------------
     def failures(self) -> List[FailureRecord]:
         """Every currently-recorded failed run, as structured records."""
+        replay = replay_command(self.failure_manifest_path)
         return [
-            FailureRecord.from_payload(key, payload)
+            FailureRecord.from_payload(key, payload, replay=replay)
             for key, payload in sorted(self._failures.items())
         ]
 

@@ -19,10 +19,28 @@ from __future__ import annotations
 from typing import Dict, List, Mapping, Optional, Tuple, Union
 
 from repro.common.errors import AssemblyError
-from repro.isa.instructions import Instruction, Opcode
+from repro.isa.instructions import (
+    BRANCH_OPS,
+    IMMEDIATE_ALU_OPS,
+    NUM_REGISTERS,
+    Instruction,
+    Opcode,
+)
 from repro.isa.program import Program
 
 Target = Union[str, int]
+
+DISPLACEMENT_LIMIT = 1 << 52
+"""Sanity bound for load/store displacements and ALU immediates.
+
+Far beyond any address the simulated memory system models (caches are a
+few KB, footprints a few MB) but small enough to catch the classic
+malformed-program bugs — a branch target used as a displacement, an
+unmasked 64-bit hash, a negative offset that wrapped.
+"""
+
+IMMEDIATE_LIMIT = 1 << 64
+"""``li`` may materialize any 64-bit value (signed or unsigned form)."""
 
 
 class CodeBuilder:
@@ -171,7 +189,14 @@ class CodeBuilder:
     # Finalization
     # ------------------------------------------------------------------
     def build(self, name: str = "program") -> Program:
-        """Resolve pending labels and return the finished program."""
+        """Resolve pending labels, validate, and return the program.
+
+        Validation happens here — not at emit time — because branch
+        targets only become known once every label is bound.  A malformed
+        program raises :class:`AssemblyError` naming the offending
+        instruction, instead of failing deep inside the pipeline with an
+        opaque ``TypeError`` or a silent wrong-path fetch.
+        """
         instructions = list(self._instructions)
         for index, label in self._pending:
             if label not in self._labels:
@@ -185,9 +210,95 @@ class CodeBuilder:
                 imm=self._labels[label],
                 label=original.label,
             )
+        self._validate(instructions, name)
         return Program(
             instructions,
             initial_memory=self._memory,
             initial_registers=self._registers,
             name=name,
         )
+
+    def _validate(self, instructions: List[Instruction], name: str) -> None:
+        for index, inst in enumerate(instructions):
+            problem = _instruction_problem(inst, len(instructions))
+            if problem is not None:
+                raise AssemblyError(
+                    f"{name}: instruction {index} ({inst.disassemble()}): "
+                    f"{problem}",
+                    line=index,
+                )
+        for reg in self._registers:
+            if not 0 <= reg < NUM_REGISTERS:
+                raise AssemblyError(
+                    f"{name}: initial value for register r{reg} out of "
+                    f"range (0..{NUM_REGISTERS - 1})"
+                )
+        for address in self._memory:
+            if not 0 <= address < (1 << 64):
+                raise AssemblyError(
+                    f"{name}: initial memory address {address:#x} outside "
+                    "the 64-bit address space"
+                )
+
+
+def _require(value: Optional[int], what: str) -> Optional[str]:
+    if value is None:
+        return f"missing {what} operand"
+    return None
+
+
+def _instruction_problem(inst: Instruction, length: int) -> Optional[str]:
+    """Why ``inst`` is malformed, or None.
+
+    Register *ranges* are already enforced by
+    :meth:`Instruction.__post_init__`; this layer checks operand
+    *presence* per opcode class, displacement/immediate magnitudes, and
+    that branch targets land inside the program (``length`` itself is
+    allowed: it is an explicit fall-off-the-end exit, which the
+    interpreter defines).
+    """
+    op = inst.opcode
+    if op is Opcode.NOP or op is Opcode.HALT:
+        return None
+    if op in BRANCH_OPS:
+        if op is not Opcode.JMP:
+            problem = _require(inst.rs1, "rs1") or _require(inst.rs2, "rs2")
+            if problem:
+                return problem
+        if not 0 <= inst.imm <= length:
+            return (
+                f"branch target {inst.imm} outside program (0..{length})"
+            )
+        return None
+    if op is Opcode.LOAD:
+        problem = _require(inst.rd, "destination") or _require(inst.rs1, "base")
+        if problem:
+            return problem
+        if abs(inst.imm) >= DISPLACEMENT_LIMIT:
+            return f"displacement {inst.imm} exceeds ±2^52 sanity bound"
+        return None
+    if op is Opcode.STORE:
+        problem = _require(inst.rs1, "base") or _require(inst.rs2, "data")
+        if problem:
+            return problem
+        if abs(inst.imm) >= DISPLACEMENT_LIMIT:
+            return f"displacement {inst.imm} exceeds ±2^52 sanity bound"
+        return None
+    # ALU family.
+    problem = _require(inst.rd, "destination")
+    if problem:
+        return problem
+    if op is Opcode.LI:
+        if not -IMMEDIATE_LIMIT < inst.imm < IMMEDIATE_LIMIT:
+            return f"immediate {inst.imm} does not fit in 64 bits"
+        return None
+    problem = _require(inst.rs1, "rs1")
+    if problem:
+        return problem
+    if op in IMMEDIATE_ALU_OPS:
+        if abs(inst.imm) >= DISPLACEMENT_LIMIT:
+            return f"immediate {inst.imm} exceeds ±2^52 sanity bound"
+        return None
+    if op is Opcode.MOV:
+        return None
+    return _require(inst.rs2, "rs2")

@@ -9,7 +9,7 @@ simple in-order interpreter produces.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Mapping, Optional, Sequence
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Sequence
 
 from repro.common.errors import ExecutionError
 from repro.isa.instructions import (
@@ -102,6 +102,64 @@ class Program:
     def disassemble(self) -> str:
         return "\n".join(
             f"{pc:5d}: {inst.disassemble()}" for pc, inst in enumerate(self.instructions)
+        )
+
+    # ------------------------------------------------------------------
+    # Serialization (used by fuzz repro files)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-able description that round-trips via :meth:`from_dict`.
+
+        Memory/register keys become strings because JSON objects cannot
+        have integer keys.
+        """
+        return {
+            "name": self.name,
+            "instructions": [
+                {
+                    "opcode": inst.opcode.value,
+                    "rd": inst.rd,
+                    "rs1": inst.rs1,
+                    "rs2": inst.rs2,
+                    "imm": inst.imm,
+                    "label": inst.label,
+                }
+                for inst in self.instructions
+            ],
+            "initial_memory": {
+                str(addr): value for addr, value in sorted(self.initial_memory.items())
+            },
+            "initial_registers": {
+                str(reg): value
+                for reg, value in sorted(self.initial_registers.items())
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "Program":
+        """Rebuild a program serialized with :meth:`to_dict`."""
+        instructions = [
+            Instruction(
+                Opcode(entry["opcode"]),
+                rd=entry.get("rd"),
+                rs1=entry.get("rs1"),
+                rs2=entry.get("rs2"),
+                imm=entry.get("imm", 0),
+                label=entry.get("label"),
+            )
+            for entry in payload["instructions"]
+        ]
+        return cls(
+            instructions,
+            initial_memory={
+                int(addr): value
+                for addr, value in payload.get("initial_memory", {}).items()
+            },
+            initial_registers={
+                int(reg): value
+                for reg, value in payload.get("initial_registers", {}).items()
+            },
+            name=payload.get("name", "program"),
         )
 
     # ------------------------------------------------------------------

@@ -89,3 +89,48 @@ class TestSweep:
     def test_sweep_unknown_benchmark_is_an_error(self, capsys):
         assert main(["sweep", "--benchmarks", "doesnotexist"]) == 1
         assert "unknown benchmark" in capsys.readouterr().err
+
+
+class TestFuzz:
+    FAST = ["--matrix", "schemes", "--schemes", "unsafe,dom+ap",
+            "--profiles", "default", "--jobs", "1"]
+
+    def test_clean_campaign_exits_zero(self, capsys, tmp_path):
+        assert main(["fuzz", "--seeds", "1",
+                     "--repro-dir", str(tmp_path)] + self.FAST) == 0
+        out = capsys.readouterr().out
+        assert "1 program(s)" in out
+        assert "1 clean" in out
+
+    def test_mutation_campaign_expects_findings(self, capsys, tmp_path):
+        assert main(["fuzz", "--seeds", "1", "--mutation", "commit-bitflip",
+                     "--no-minimize",
+                     "--repro-dir", str(tmp_path)] + self.FAST) == 0
+        out = capsys.readouterr().out
+        assert "1 finding(s)" in out
+        assert "--replay" in out  # prints the replay command
+
+    def test_selftest_minimizes_to_single_digits(self, capsys, tmp_path):
+        assert main(["fuzz", "--selftest", "--seeds", "1",
+                     "--repro-dir", str(tmp_path)] + self.FAST) == 0
+        out = capsys.readouterr().out
+        assert "selftest OK" in out
+        assert "minimized" in out
+
+    def test_replay_repro_file(self, capsys, tmp_path):
+        from pathlib import Path
+
+        corpus = Path(__file__).parent.parent / "fuzz" / "corpus"
+        entry = sorted(corpus.glob("*.json"))[0]
+        assert main(["fuzz", "--replay", str(entry)]) == 0
+        out = capsys.readouterr().out
+        assert "stock simulator" in out
+
+    def test_replay_missing_file_is_an_error(self, capsys, tmp_path):
+        assert main(["fuzz", "--replay", str(tmp_path / "gone.json")]) == 1
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_unknown_profile_is_an_error(self, capsys, tmp_path):
+        assert main(["fuzz", "--seeds", "1", "--profiles", "nope",
+                     "--repro-dir", str(tmp_path)]) == 1
+        assert "unknown fuzz profile" in capsys.readouterr().err

@@ -1,0 +1,48 @@
+"""The checked-in regression corpus, replayed forever.
+
+Every corpus entry was born from a fuzz finding (here: injected-bug
+self-tests).  Each must still (a) reproduce its recorded verdict when
+the recorded mutation is re-injected and (b) come back clean on the
+stock simulator — (b) is the actual regression guarantee, (a) proves the
+file is a faithful repro rather than a stale artifact.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.fuzz.corpus import ReproFile, corpus_entries
+from repro.fuzz.differential import KIND_CLEAN
+
+CORPUS_DIR = Path(__file__).parent / "corpus"
+ENTRIES = corpus_entries(CORPUS_DIR)
+
+
+def test_corpus_is_not_empty():
+    assert len(ENTRIES) >= 2
+
+
+def test_missing_directory_is_empty_corpus(tmp_path):
+    assert corpus_entries(tmp_path / "nope") == []
+
+
+@pytest.mark.parametrize("path", ENTRIES, ids=lambda p: p.stem)
+class TestCorpusEntry:
+    def test_loads_and_is_consistent(self, path):
+        repro = ReproFile.load(path)
+        assert not repro.config_drifted()
+        assert repro.minimized_instructions == len(
+            repro.build_program().instructions
+        )
+        assert repro.listing == repro.build_program().disassemble()
+
+    def test_stock_simulator_is_clean(self, path):
+        repro = ReproFile.load(path)
+        report = repro.replay(mutation=None)
+        assert report.kind == KIND_CLEAN, report.summary()
+
+    def test_recorded_mutation_reproduces(self, path):
+        repro = ReproFile.load(path)
+        assert repro.mutation is not None
+        report = repro.replay()
+        assert report.kind == repro.kind, report.summary()

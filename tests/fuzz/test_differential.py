@@ -1,0 +1,90 @@
+"""The differential oracle: clean on stock, loud on injected bugs."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.fuzz.differential import (
+    KIND_ARCH,
+    KIND_CLEAN,
+    KIND_REFERENCE_LIMIT,
+    commit_budget,
+    matrix_modes,
+    run_matrix,
+)
+from repro.fuzz.generator import generate_program
+from repro.fuzz.mutations import MUTATIONS, make_scheme_variant
+from repro.fuzz.profiles import get_profile
+from repro.isa.builder import CodeBuilder
+
+SMOKE_SCHEMES = ("unsafe", "dom+ap")
+
+
+class TestMatrixModes:
+    def test_full_matrix_crosses_everything(self):
+        modes = matrix_modes(SMOKE_SCHEMES, "full")
+        assert len(modes) == len(SMOKE_SCHEMES) * 2 * 2
+        assert {m.scheme for m in modes} == set(SMOKE_SCHEMES)
+        assert {m.idle_skip for m in modes} == {True, False}
+        assert {m.guardrails for m in modes} == {"off", "full"}
+
+    def test_schemes_matrix_is_one_cell_per_scheme(self):
+        modes = matrix_modes(SMOKE_SCHEMES, "schemes")
+        assert len(modes) == len(SMOKE_SCHEMES)
+        assert all(m.idle_skip and m.guardrails == "full" for m in modes)
+
+
+class TestStockSimulator:
+    def test_generated_program_is_clean_full_matrix(self):
+        program = generate_program(0, get_profile("default"))
+        report = run_matrix(program, SMOKE_SCHEMES, matrix="full")
+        assert report.kind == KIND_CLEAN
+        assert report.clean
+        assert len(report.executions) == len(SMOKE_SCHEMES) * 4
+        assert report.divergences == []
+
+    @pytest.mark.parametrize("name", ("branchy", "store_pressure"))
+    def test_pressure_profiles_are_clean(self, name):
+        program = generate_program(1, get_profile(name))
+        report = run_matrix(program, SMOKE_SCHEMES, matrix="schemes")
+        assert report.kind == KIND_CLEAN
+
+
+class TestInjectedBugs:
+    @pytest.mark.parametrize("mutation", sorted(MUTATIONS))
+    def test_mutations_are_caught(self, mutation):
+        program = generate_program(0, get_profile("default"))
+        report = run_matrix(
+            program, SMOKE_SCHEMES, matrix="schemes", mutation=mutation
+        )
+        assert report.kind == KIND_ARCH
+        assert report.divergences
+
+    def test_runaway_mutated_program_is_bounded(self):
+        # commit-bitflip can corrupt the loop counter; the commit budget
+        # turns the resulting endless loop into a fast halted=False
+        # divergence instead of a hang.
+        program = generate_program(1, get_profile("branchy"))
+        report = run_matrix(
+            program, SMOKE_SCHEMES, matrix="schemes", mutation="commit-bitflip"
+        )
+        assert report.kind == KIND_ARCH
+
+    def test_unknown_mutation_rejected(self):
+        with pytest.raises(ConfigError, match="unknown mutation"):
+            make_scheme_variant("dom", "not-a-mutation")
+
+
+class TestReferenceLimit:
+    def test_non_halting_program_is_its_own_kind(self):
+        b = CodeBuilder()
+        b.label("spin")
+        b.jmp("spin")
+        b.halt()
+        report = run_matrix(
+            b.build(name="spin"), SMOKE_SCHEMES, matrix="schemes"
+        )
+        assert report.kind == KIND_REFERENCE_LIMIT
+        assert report.executions == []
+
+    def test_commit_budget_scales_with_reference(self):
+        assert commit_budget(1000) > commit_budget(10) > 0

@@ -1,0 +1,56 @@
+"""Generated programs: deterministic, well-formed, and terminating."""
+
+import pytest
+
+from repro.fuzz.generator import generation_rng, generate_program
+from repro.fuzz.profiles import PROFILES, get_profile
+from repro.isa.instructions import Opcode
+from repro.oracle import interpret_reference
+
+
+class TestDeterminism:
+    def test_same_seed_same_program(self):
+        for profile in PROFILES.values():
+            first = generate_program(7, profile)
+            second = generate_program(7, profile)
+            assert first.disassemble() == second.disassemble()
+            assert first.initial_memory == second.initial_memory
+            assert first.initial_registers == second.initial_registers
+
+    def test_different_seeds_differ(self):
+        profile = get_profile("default")
+        a = generate_program(0, profile)
+        b = generate_program(1, profile)
+        assert a.disassemble() != b.disassemble()
+
+    def test_rng_streams_are_profile_scoped(self):
+        # The stream is seeded by (profile name, seed) as a *string*, so
+        # it never depends on interpreter hash randomization and two
+        # profiles never share a stream for the same seed.
+        a = generation_rng(3, get_profile("default")).random()
+        b = generation_rng(3, get_profile("branchy")).random()
+        assert a != b
+        assert (
+            generation_rng(3, get_profile("default")).random() == a
+        )
+
+
+class TestShape:
+    @pytest.mark.parametrize("name", sorted(PROFILES))
+    def test_builds_and_ends_with_halt(self, name):
+        program = generate_program(11, get_profile(name))
+        assert program.instructions[-1].opcode is Opcode.HALT
+        assert program.name == f"fuzz-{name}-11"
+
+    @pytest.mark.parametrize("name", sorted(PROFILES))
+    def test_terminates_in_reference_interpreter(self, name):
+        program = generate_program(5, get_profile(name))
+        result = interpret_reference(program)
+        assert result.halted
+        assert result.instructions_executed > 0
+
+    def test_footprint_matches_profile(self):
+        program = generate_program(2, get_profile("chase"))
+        assert len(program.initial_memory) >= get_profile(
+            "chase"
+        ).footprint_words

@@ -1,0 +1,53 @@
+"""Knob profiles: validation, round-trips, and the named registry."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.fuzz.profiles import (
+    FOOTPRINT_WORDS,
+    PROFILES,
+    FuzzProfile,
+    get_profile,
+    resolve_profiles,
+)
+
+
+class TestRegistry:
+    def test_named_profiles_are_valid(self):
+        for name, profile in PROFILES.items():
+            assert profile.name == name
+            profile.validate()  # must not raise
+
+    def test_get_profile_unknown_name(self):
+        with pytest.raises(ConfigError, match="unknown fuzz profile"):
+            get_profile("nope")
+
+    def test_resolve_profiles_preserves_order(self):
+        profiles = resolve_profiles(("chase", "default"))
+        assert [p.name for p in profiles] == ["chase", "default"]
+
+
+class TestKnobs:
+    def test_round_trip_through_dict(self):
+        for profile in PROFILES.values():
+            assert FuzzProfile.from_dict(profile.to_dict()) == profile
+
+    def test_unknown_knob_rejected(self):
+        payload = get_profile("default").to_dict()
+        payload["spice"] = 11
+        with pytest.raises(ConfigError, match="spice"):
+            FuzzProfile.from_dict(payload)
+
+    def test_invalid_target_level_rejected(self):
+        with pytest.raises(ConfigError):
+            FuzzProfile(name="bad", target_level="l9").validate()
+
+    def test_footprint_follows_target_level(self):
+        for level, words in FOOTPRINT_WORDS.items():
+            profile = FuzzProfile(name=f"t-{level}", target_level=level)
+            assert profile.footprint_words == words
+
+    def test_kind_weights_cover_emitters(self):
+        weights = get_profile("default").kind_weights()
+        assert set(weights) >= {"alu", "branch", "load", "store", "chase"}
+        assert all(weight >= 0 for weight in weights.values())

@@ -1,0 +1,122 @@
+"""Campaign plumbing: jobs, repro files, manifest, and replay."""
+
+import json
+
+from repro.fuzz.corpus import ReproFile
+from repro.fuzz.differential import KIND_ARCH, KIND_CLEAN
+from repro.fuzz.profiles import get_profile, resolve_profiles
+from repro.fuzz.session import (
+    FuzzJob,
+    FuzzSession,
+    execute_fuzz_job,
+    fuzz_job_fields,
+    replay_manifest,
+)
+
+SMOKE_SCHEMES = ("unsafe", "dom+ap")
+
+
+def _job(seed=0, mutation=None, minimize=True):
+    from repro.common.config import small_config
+
+    return FuzzJob.build(
+        seed,
+        get_profile("default"),
+        SMOKE_SCHEMES,
+        "schemes",
+        small_config(),
+        mutation=mutation,
+        minimize_findings=minimize,
+    )
+
+
+class TestFuzzJob:
+    def test_spec_round_trip(self):
+        job = _job(seed=9, mutation="dropped-store")
+        spec = job.spec()
+        assert spec["kind"] == "fuzz"
+        assert FuzzJob.from_spec(spec) == job
+
+    def test_spec_is_json_serializable(self):
+        restored = FuzzJob.from_spec(json.loads(json.dumps(_job().spec())))
+        assert restored == _job()
+
+    def test_label_and_fields(self):
+        job = _job(seed=4)
+        assert job.label == "fuzz/default/seed4"
+        fields = fuzz_job_fields(job)
+        assert fields["benchmark"] == job.label
+        assert fields["spec"]["seed"] == 4
+
+
+class TestWorker:
+    def test_clean_job(self):
+        outcome = execute_fuzz_job(_job())
+        assert outcome["ok"]
+        assert outcome["result"]["kind"] == KIND_CLEAN
+        assert "repro" not in outcome["result"]
+
+    def test_finding_carries_minimized_repro(self):
+        outcome = execute_fuzz_job(_job(mutation="commit-bitflip"))
+        assert outcome["ok"]
+        result = outcome["result"]
+        assert result["kind"] == KIND_ARCH
+        repro = result["repro"]
+        assert repro["mutation"] == "commit-bitflip"
+        assert 0 < repro["minimized_instructions"] <= 10
+        assert repro["minimized_instructions"] < repro["original_instructions"]
+
+
+class TestSession:
+    def test_clean_campaign(self, tmp_path):
+        session = FuzzSession(
+            schemes=SMOKE_SCHEMES,
+            matrix="schemes",
+            jobs=1,
+            repro_dir=tmp_path,
+        )
+        summary = session.run([0, 1], resolve_profiles(("default",)))
+        assert summary.ok
+        assert summary.programs == 2
+        assert summary.clean == 2
+        manifest = json.loads((tmp_path / "failure_manifest.json").read_text())
+        assert manifest["failures"] == []
+
+    def test_findings_write_repro_and_manifest(self, tmp_path):
+        session = FuzzSession(
+            schemes=SMOKE_SCHEMES,
+            matrix="schemes",
+            jobs=1,
+            repro_dir=tmp_path,
+            mutation="commit-bitflip",
+        )
+        summary = session.run([0], resolve_profiles(("default",)))
+        assert not summary.ok
+        (finding,) = summary.findings
+        assert finding.kind == KIND_ARCH
+        assert finding.repro_path is not None and finding.repro_path.exists()
+
+        repro = ReproFile.load(finding.repro_path)
+        assert repro.mutation == "commit-bitflip"
+        assert not repro.config_drifted()
+
+        manifest = json.loads((tmp_path / "failure_manifest.json").read_text())
+        (entry,) = manifest["failures"]
+        assert entry["spec"]["kind"] == "fuzz"
+        assert entry["spec"]["seed"] == 0
+        assert entry["replay"].startswith("python -m repro fuzz --replay ")
+
+    def test_manifest_replays(self, tmp_path):
+        session = FuzzSession(
+            schemes=SMOKE_SCHEMES,
+            matrix="schemes",
+            jobs=1,
+            repro_dir=tmp_path,
+            mutation="commit-bitflip",
+            minimize_findings=False,
+        )
+        session.run([0], resolve_profiles(("default",)))
+        replayed = replay_manifest(tmp_path / "failure_manifest.json")
+        ((label, report),) = replayed
+        assert label == "fuzz/default/seed0"
+        assert report.kind == KIND_ARCH

@@ -34,6 +34,24 @@ class TestDoctor:
         assert report.lint_status == "skipped"
         assert report.ok
 
+    def test_fuzz_smoke_runs_and_reports_clean(self):
+        report = run_doctor(
+            schemes=("unsafe",), instructions=800, lint_preflight=False
+        )
+        assert report.fuzz_findings == 0
+        assert report.fuzz_status.startswith("clean")
+        assert "differential fuzz smoke: clean" in report.render()
+
+    def test_fuzz_smoke_can_be_skipped(self):
+        report = run_doctor(
+            schemes=("unsafe",),
+            instructions=800,
+            lint_preflight=False,
+            fuzz_smoke=False,
+        )
+        assert report.fuzz_status == "skipped"
+        assert report.ok
+
 
 class TestDoctorCli:
     def test_cli_doctor_exit_code(self, capsys):

@@ -44,8 +44,10 @@ class TestEmitters:
         b.blt(1, 2, 12)
         b.bge(1, 2, 13)
         b.jmp(14)
+        b.nop(9)
+        b.halt()
         program = b.build()
-        assert [i.imm for i in program.instructions] == [10, 11, 12, 13, 14]
+        assert [i.imm for i in program.instructions[:5]] == [10, 11, 12, 13, 14]
 
     def test_nop_count(self):
         b = CodeBuilder()
@@ -92,6 +94,71 @@ class TestLabels:
         first = b.build()
         second = b.build()
         assert first.instructions == second.instructions
+
+
+class TestBuildValidation:
+    """``build()`` rejects malformed programs with a named instruction."""
+
+    def test_branch_target_past_end_rejected(self):
+        b = CodeBuilder()
+        b.beq(1, 2, 10)
+        b.halt()
+        with pytest.raises(AssemblyError, match="branch target 10 outside"):
+            b.build(name="bad-branch")
+
+    def test_branch_target_program_length_is_allowed(self):
+        # Target == len is an explicit fall-off-the-end exit, which the
+        # interpreter defines; it must assemble.
+        b = CodeBuilder()
+        b.beq(1, 2, 2)
+        b.halt()
+        program = b.build()
+        assert program.instructions[0].imm == 2
+
+    def test_negative_branch_target_rejected(self):
+        b = CodeBuilder()
+        b.jmp(-1)
+        b.halt()
+        with pytest.raises(AssemblyError, match="branch target -1"):
+            b.build()
+
+    def test_huge_displacement_rejected(self):
+        b = CodeBuilder()
+        b.load(1, base=2, disp=1 << 53)
+        b.halt()
+        with pytest.raises(AssemblyError, match="displacement"):
+            b.build()
+
+    def test_error_names_instruction_and_program(self):
+        b = CodeBuilder()
+        b.nop()
+        b.store(3, base=4, disp=-(1 << 60))
+        b.halt()
+        with pytest.raises(AssemblyError) as excinfo:
+            b.build(name="diag")
+        assert "diag: instruction 1" in str(excinfo.value)
+        assert excinfo.value.line == 1
+
+    def test_register_init_out_of_range_rejected(self):
+        b = CodeBuilder()
+        b.set_register(32, 1)
+        b.halt()
+        with pytest.raises(AssemblyError, match="register r32"):
+            b.build()
+
+    def test_memory_init_outside_address_space_rejected(self):
+        b = CodeBuilder()
+        b.set_memory(1 << 64, 1)
+        b.halt()
+        with pytest.raises(AssemblyError, match="64-bit address space"):
+            b.build()
+
+    def test_oversized_li_immediate_rejected(self):
+        b = CodeBuilder()
+        b.li(1, 1 << 64)
+        b.halt()
+        with pytest.raises(AssemblyError, match="does not fit in 64 bits"):
+            b.build()
 
 
 class TestInitialState:
