@@ -3,6 +3,7 @@
 from repro.analysis.rules import (  # noqa: F401  (imported for side effects)
     determinism,
     fingerprint,
+    hot_path,
     hygiene,
     layering,
     typed_errors,

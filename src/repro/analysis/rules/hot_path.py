@@ -1,0 +1,146 @@
+"""Hot-path discipline (RPL701).
+
+The profile-driven optimization pass (``repro profile``, ``docs/
+internals.md`` §Performance) marks the simulator's busiest functions
+with a ``# repro: hot`` comment on (or directly above) the ``def`` line.
+Those functions run millions of times per bench sweep, so two cheap
+idioms elsewhere become first-order costs there:
+
+* **Per-call container allocations** — a dict/set display or a
+  list/set/dict comprehension builds a fresh container on every call.
+  On a hot path the container is almost always loop-invariant (a
+  dispatch table, a constant set) and belongs at module or instance
+  scope, or is better expressed as an explicit loop over a preallocated
+  structure.
+* **Repeated ``self.x.y`` chains** — each dotted lookup is a live
+  attribute load in CPython; reading the *same* chain twice in one call
+  pays twice.  Hoist it to a local (``mshrs = self.mshrs``) once and
+  reuse it.
+
+The chain check keys on the **full** dotted path: ``self.l1.
+line_address`` once plus ``self.l1.access`` once is clean (different
+chains), while two reads of ``self.hierarchy.mshrs`` in one call fire.
+Only ``self``-rooted read chains of depth >= 2 count — single-attribute
+reads (``self.rob``) are the baseline idiom, and writes must go through
+the chain by definition.
+
+The marker is an opt-in contract, not a heuristic: unmarked functions
+are never checked, so the rule costs nothing outside the audited hot
+set.  ``# repro: noqa[RPL701]`` suppresses individual findings where a
+per-call allocation is semantically required.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, Iterator, List
+
+from repro.analysis.registry import ModuleContext, Rule, register
+from repro.analysis.rules._util import dotted_name
+
+_HOT_MARKER = re.compile(r"#\s*repro:\s*hot\b")
+
+_ALLOCATION_NODES = {
+    ast.Dict: "dict display",
+    ast.Set: "set display",
+    ast.ListComp: "list comprehension",
+    ast.SetComp: "set comprehension",
+    ast.DictComp: "dict comprehension",
+}
+
+_SCOPE_NODES = (
+    ast.FunctionDef,
+    ast.AsyncFunctionDef,
+    ast.Lambda,
+    ast.ClassDef,
+)
+
+
+def _is_hot(func: ast.AST, lines: List[str]) -> bool:
+    """Is ``func`` marked ``# repro: hot`` on or directly above its def?"""
+    lineno = getattr(func, "lineno", 0)
+    for candidate in (lineno, lineno - 1):
+        index = candidate - 1
+        if 0 <= index < len(lines) and _HOT_MARKER.search(lines[index]):
+            return True
+    return False
+
+
+def _own_nodes(func: ast.AST) -> Iterator[ast.AST]:
+    """Walk ``func``'s body without descending into nested scopes.
+
+    Code inside a nested def/lambda/class runs per *its* invocation, not
+    per call of the hot function, so it is outside this rule's contract.
+    The parent is tracked so chain detection can identify *outermost*
+    attribute nodes (``self.a.b`` must not also count its inner
+    ``self.a``).
+    """
+    stack: List[ast.AST] = list(ast.iter_child_nodes(func))
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, _SCOPE_NODES):
+            continue
+        for child in ast.iter_child_nodes(node):
+            child._rpl701_parent = node  # type: ignore[attr-defined]
+            stack.append(child)
+
+
+@register
+class HotPathRule(Rule):
+    rule_id = "RPL701"
+    name = "hot-path-discipline"
+    rationale = (
+        "functions marked '# repro: hot' run millions of times per "
+        "sweep; per-call dict/set/comprehension allocations and repeated "
+        "self.x.y attribute chains there are first-order simulator "
+        "throughput costs — hoist them out of the call"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator:
+        lines = ctx.lines
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if not _is_hot(node, lines):
+                continue
+            yield from self._check_function(ctx, node)
+
+    def _check_function(self, ctx: ModuleContext, func: ast.AST) -> Iterator:
+        name = getattr(func, "name", "<function>")
+        chains: Dict[str, List[ast.Attribute]] = {}
+        for node in _own_nodes(func):
+            label = _ALLOCATION_NODES.get(type(node))
+            if label is not None:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"{label} allocated on every call of hot function "
+                    f"'{name}'; hoist it to module/instance scope or "
+                    f"restructure the loop",
+                )
+                continue
+            if not isinstance(node, ast.Attribute):
+                continue
+            if not isinstance(node.ctx, ast.Load):
+                continue
+            parent = getattr(node, "_rpl701_parent", None)
+            if isinstance(parent, ast.Attribute):
+                continue  # inner segment of a longer chain
+            chain = dotted_name(node)
+            if chain is None or not chain.startswith("self."):
+                continue
+            if chain.count(".") < 2:  # self.x — baseline idiom
+                continue
+            chains.setdefault(chain, []).append(node)
+        for chain, nodes in chains.items():
+            if len(nodes) < 2:
+                continue
+            nodes.sort(key=lambda n: (n.lineno, n.col_offset))
+            yield self.finding(
+                ctx,
+                nodes[1],
+                f"attribute chain '{chain}' read {len(nodes)} times in hot "
+                f"function '{name}'; hoist it to a local once",
+            )

@@ -127,11 +127,44 @@ def _build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--compare", default=None, metavar="BASELINE",
         help="compare against a checked-in baseline instead of writing; "
-             "prints warnings on sim-IPS regressions (never fails the run)",
+             "prints warnings on sim-IPS regressions",
     )
     bench.add_argument(
         "--threshold", type=float, default=None,
-        help="regression warning threshold as a fraction (default 0.20)",
+        help="regression threshold as a fraction of aggregate sim-IPS "
+             "(default 0.20; per-pair bar is twice this)",
+    )
+    bench.add_argument(
+        "--samples", type=int, default=None,
+        help="timing samples per (pair, mode); the recorded wall is the "
+             "best (default 3)",
+    )
+    bench.add_argument(
+        "--fail-on-regression", action="store_true",
+        help="with --compare: exit 1 when any regression warning fires "
+             "(the CI perf gate)",
+    )
+
+    prof = sub.add_parser(
+        "profile",
+        help="profile the simulator over the bench grid: per-stage wall "
+             "shares (default) or cProfile (--cprofile)",
+    )
+    prof.add_argument(
+        "--quick", action="store_true",
+        help="CI-sized cut of the grid instead of the full figure6 sweep",
+    )
+    prof.add_argument(
+        "--cprofile", action="store_true",
+        help="deterministic cProfile view instead of stage accounting",
+    )
+    prof.add_argument(
+        "--top", type=int, default=25,
+        help="rows to keep in the cProfile view (default 25)",
+    )
+    prof.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="also write the full report as JSON here",
     )
 
     attack = sub.add_parser("attack", help="run Spectre v1 against every scheme")
@@ -352,6 +385,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.harness.perfbench import (
         DEFAULT_BASELINE,
         DEFAULT_REGRESSION_THRESHOLD,
+        DEFAULT_SAMPLES,
         compare_baselines,
         load_baseline,
         run_bench,
@@ -359,11 +393,13 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     )
 
     profile = "quick" if args.quick else "full"
+    samples = DEFAULT_SAMPLES if args.samples is None else args.samples
     print(f"benchmarking the {profile} profile (event-driven vs per-cycle "
-          f"reference loop; stats verified bit-identical per pair)")
+          f"reference loop; stats verified bit-identical per pair; "
+          f"best of {samples} samples)")
     print(f"{'benchmark':<14}{'scheme':<9}{'sim-IPS':>10}{'speedup':>9}"
           f"{'cyc/step':>10}")
-    fragment = run_bench(profile, progress=print)
+    fragment = run_bench(profile, progress=print, samples=samples)
     totals = fragment["totals"]
     print(
         f"\n{totals['pairs']} pairs: {totals['sim_ips']:.0f} aggregate "
@@ -386,10 +422,33 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         if args.output is not None:
             write_baseline(args.output, fragment)
             print(f"baseline written to {args.output}")
+        if warnings and args.fail_on_regression:
+            return 1
         return 0
     output = args.output if args.output is not None else DEFAULT_BASELINE
     write_baseline(output, fragment)
     print(f"baseline written to {output}")
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro.harness.profiling import (
+        profile_cprofile,
+        profile_stages,
+        render_stage_report,
+        write_report,
+    )
+
+    profile = "quick" if args.quick else "full"
+    if args.cprofile:
+        report = profile_cprofile(profile, top=args.top)
+        print(report["text"], end="")
+    else:
+        report = profile_stages(profile)
+        print(render_stage_report(report))
+    if args.json is not None:
+        write_report(args.json, report)
+        print(f"profile report written to {args.json}")
     return 0
 
 
@@ -621,6 +680,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return module.main(forwarded)
         if args.command == "bench":
             return _cmd_bench(args)
+        if args.command == "profile":
+            return _cmd_profile(args)
         if args.command == "attack":
             return _cmd_attack(args)
         if args.command == "trace":

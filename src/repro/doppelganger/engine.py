@@ -50,6 +50,10 @@ class DoppelgangerEngine:
     def __init__(self, core: "Core"):
         self.core = core
         self.stats = core.stats
+        # Hoisted collaborators: neither is ever rebound on a live core,
+        # so the per-dispatch/per-issue paths skip the core indirection.
+        self.stride = core.stride
+        self.hierarchy = core.hierarchy
         # In-flight predicted instances per PC, used to age predictions
         # across overlapping loop iterations.
         self._outstanding: Dict[int, int] = {}
@@ -60,7 +64,7 @@ class DoppelgangerEngine:
     # Dispatch: predict the current instance's address
     # ------------------------------------------------------------------
     def on_dispatch(self, load: MicroOp) -> None:
-        table = self.core.stride
+        table = self.stride
         entry = table.entry_for(load.pc)
         if entry is None or entry.confidence < table.config.confidence_threshold:
             return
@@ -109,7 +113,7 @@ class DoppelgangerEngine:
         candidates = self._candidates
         if ports <= 0 or not candidates:
             return ports
-        hierarchy = self.core.hierarchy
+        hierarchy = self.hierarchy
         while ports > 0 and candidates:
             load = candidates[0]
             if (
@@ -255,7 +259,7 @@ class DoppelgangerEngine:
             or load.dl_used
         ):
             return False
-        if self.core.hierarchy.line_address(load.dl_predicted_address) != line:
+        if self.hierarchy.line_address(load.dl_predicted_address) != line:
             return False
         load.dl_invalidated = True
         return True

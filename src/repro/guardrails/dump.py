@@ -18,6 +18,7 @@ from pathlib import Path
 from typing import TYPE_CHECKING, Any, Dict, List, Optional
 
 from repro.pipeline.shadows import INFINITE_SEQ
+from repro.pipeline.uop import UopState
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.pipeline.core import Core
@@ -34,7 +35,7 @@ def describe_uop(uop: Optional["MicroOp"]) -> Optional[Dict[str, Any]]:
         "seq": uop.seq,
         "pc": uop.pc,
         "disasm": uop.inst.disassemble(),
-        "state": uop.state.name,
+        "state": UopState(uop.state).name,
         "dispatch_cycle": uop.dispatch_cycle,
         "issue_cycle": uop.issue_cycle,
         "in_iq": uop.in_iq,
@@ -92,7 +93,7 @@ def machine_snapshot(core: "Core") -> Dict[str, Any]:
             "mem_retry": len(core._mem_retry),
             "forward_retry": len(core._forward_retry),
             "frontier_waiters": len(core._frontier_waiters),
-            "timed_events": len(core._events),
+            "timed_events": sum(len(b) for b in core._events.values()),
             "prefetch_queue": len(core._prefetch_queue),
             "rename_entries": len(core.rename),
         },
@@ -120,7 +121,7 @@ def machine_snapshot(core: "Core") -> Dict[str, Any]:
             "squashed_instructions": stats.squashed_instructions,
             "vp_squashes": stats.vp_squashes,
         },
-        "next_event_cycle": core._events[0][0] if core._events else None,
+        "next_event_cycle": min(core._events) if core._events else None,
     }
     if core.engine is not None:
         snapshot["doppelganger"] = {

@@ -40,6 +40,7 @@ from typing import TYPE_CHECKING, Callable, Dict, List, Tuple
 
 from repro.common.errors import InvariantViolationError
 from repro.guardrails.dump import format_crash_dump, machine_snapshot, write_crash_dump
+from repro.pipeline.uop import UopState
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.pipeline.core import Core
@@ -135,7 +136,7 @@ class InvariantChecker:
             previous = uop.seq
             if uop.squashed or uop.committed:
                 problems.append(
-                    f"ROB contains a {uop.state.name} entry seq={uop.seq} "
+                    f"ROB contains a {UopState(uop.state).name} entry seq={uop.seq} "
                     f"(must have been removed)"
                 )
             if uop.in_iq:

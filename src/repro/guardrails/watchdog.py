@@ -38,6 +38,7 @@ from typing import TYPE_CHECKING
 
 from repro.common.errors import DeadlockError
 from repro.guardrails.dump import format_crash_dump, machine_snapshot, write_crash_dump
+from repro.pipeline.uop import UopState
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.pipeline.core import Core
@@ -83,7 +84,7 @@ class Watchdog:
         if busy:
             kind = "livelock"
             activity = (
-                f"{len(core._events)} timed events pending, "
+                f"{sum(len(b) for b in core._events.values())} timed events pending, "
                 f"{stats.squashed_instructions} squashes, "
                 f"{stats.dom_reissued_loads} load replays, "
                 f"{stats.vp_squashes} VP squashes so far"
@@ -101,7 +102,7 @@ class Watchdog:
         head = core.rob[0] if core.rob else None
         head_text = (
             f"oldest instruction seq={head.seq} pc={head.pc} "
-            f"{head.inst.disassemble()!r} in state {head.state.name}"
+            f"{head.inst.disassemble()!r} in state {UopState(head.state).name}"
             if head is not None
             else "ROB is empty"
         )

@@ -18,6 +18,21 @@ times are machine-dependent; the checked-in numbers document the shape
 of the win (step reduction, where skipping pays) rather than absolute
 throughput, and ``compare_baselines`` applies a generous tolerance.
 
+Each pair's wall time is the **best of N samples** (default
+``DEFAULT_SAMPLES``), every sample a fresh core over the same program.
+A single cold sample conflates simulator throughput with allocator
+warm-up, CPU frequency ramp, and scheduling noise — observed spread
+between the first and best sample of an identical run exceeds 2x on an
+idle container, which is larger than any optimization this baseline is
+meant to defend.  The minimum is the right estimator for a
+deterministic workload: noise is strictly additive, so the smallest
+sample is the closest observation of the true cost.  N is recorded in
+the baseline's environment block (``timing_samples``) so a baseline
+measured under a different policy is visibly incomparable.  Every
+sample must produce bit-identical stats (cross-sample determinism plus
+the event/reference equivalence), so more samples also means more
+differential coverage, not just less noise.
+
 This module lives in the harness, outside the simulator's determinism
 scope, so wall-clock access is legitimate here and nowhere deeper.
 """
@@ -42,6 +57,9 @@ DEFAULT_BASELINE = "BENCH_figure6.json"
 
 #: Warn when sim-IPS drops by more than this fraction vs the baseline.
 DEFAULT_REGRESSION_THRESHOLD = 0.20
+
+#: Timing samples per (pair, mode); the recorded wall is the minimum.
+DEFAULT_SAMPLES = 3
 
 
 class StatsMismatchError(ReproError):
@@ -101,20 +119,59 @@ def _timed_run(program, scheme: str, config: SystemConfig,
     return core, time.perf_counter() - start
 
 
+def _sampled_run(program, benchmark: str, scheme: str, config: SystemConfig,
+                 instructions: int, idle_skip: bool,
+                 samples: int) -> Tuple[Core, float]:
+    """Best-of-``samples`` timing of one (pair, mode); returns the last
+    core and the minimum wall time.
+
+    The simulator is deterministic, so every sample must agree on
+    SimStats bit-for-bit — a cross-sample divergence means hidden
+    process-level state leaked into the model and invalidates the bench
+    as loudly as an event/reference mismatch would.
+    """
+    best = float("inf")
+    core: Optional[Core] = None
+    first_stats = None
+    for _ in range(samples):
+        core, wall = _timed_run(program, scheme, config, instructions,
+                                idle_skip)
+        if wall < best:
+            best = wall
+        stats = core.stats.as_dict()
+        if first_stats is None:
+            first_stats = stats
+        elif stats != first_stats:
+            diffs = {
+                k: (first_stats[k], stats[k])
+                for k in stats if stats[k] != first_stats[k]
+            }
+            raise StatsMismatchError(
+                f"({benchmark}, {scheme}): identical runs diverged across "
+                f"timing samples (idle_skip={idle_skip}) — the simulator "
+                f"is leaking state between runs: {diffs}"
+            )
+    return core, best
+
+
 def bench_pair(
     benchmark: str,
     scheme: str,
     instructions: int,
     config: Optional[SystemConfig] = None,
+    samples: int = DEFAULT_SAMPLES,
 ) -> BenchRecord:
     """Time one pair in both modes and verify stats equivalence."""
     if config is None:
         config = default_config()
-    event, wall_event = _timed_run(
-        build_workload(benchmark), scheme, config, instructions, True
+    if samples < 1:
+        raise ReproError(f"bench needs at least one timing sample, got {samples}")
+    program = build_workload(benchmark)
+    event, wall_event = _sampled_run(
+        program, benchmark, scheme, config, instructions, True, samples
     )
-    reference, wall_reference = _timed_run(
-        build_workload(benchmark), scheme, config, instructions, False
+    reference, wall_reference = _sampled_run(
+        program, benchmark, scheme, config, instructions, False, samples
     )
     a, b = event.stats.as_dict(), reference.stats.as_dict()
     if a != b:
@@ -162,6 +219,7 @@ def run_bench(
     profile: str = "full",
     config: Optional[SystemConfig] = None,
     progress: Optional[Callable[[str], None]] = None,
+    samples: int = DEFAULT_SAMPLES,
 ) -> Dict:
     """Run one profile; returns the payload fragment for that profile."""
     profiles = bench_profiles()
@@ -175,7 +233,8 @@ def run_bench(
     for benchmark in spec.benchmarks:
         for scheme in spec.schemes:
             records.append(
-                bench_pair(benchmark, scheme, spec.instructions, config)
+                bench_pair(benchmark, scheme, spec.instructions, config,
+                           samples=samples)
             )
             if progress is not None:
                 r = records[-1]
@@ -186,17 +245,19 @@ def run_bench(
     return {
         "profile": profile,
         "instructions_per_pair": spec.instructions,
+        "timing_samples": samples,
         "records": [asdict(r) for r in records],
         "totals": _totals(records),
     }
 
 
-def environment_fingerprint() -> Dict[str, str]:
+def environment_fingerprint(samples: int = DEFAULT_SAMPLES) -> Dict[str, object]:
     return {
         "python": platform.python_version(),
         "implementation": platform.python_implementation(),
         "machine": platform.machine(),
         "system": platform.system(),
+        "timing_samples": samples,
     }
 
 
@@ -214,7 +275,9 @@ def write_baseline(path: str, fragment: Dict) -> Dict:
             payload = {"profiles": {}}
     payload.setdefault("profiles", {})
     payload["profiles"][fragment["profile"]] = fragment
-    payload["environment"] = environment_fingerprint()
+    payload["environment"] = environment_fingerprint(
+        samples=fragment.get("timing_samples", DEFAULT_SAMPLES)
+    )
     target.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     return payload
 

@@ -149,6 +149,11 @@ class Instruction:
         object.__setattr__(self, "kind", kind)
         object.__setattr__(self, "writes", self.rd is not None and self.rd != 0)
         object.__setattr__(self, "is_mul", op in MUL_OPS)
+        # Bind the functional evaluator once per static instruction so the
+        # execute stage calls a plain function instead of walking an
+        # opcode chain per dynamic instance.
+        object.__setattr__(self, "alu_fn", _ALU_FUNCS.get(op))
+        object.__setattr__(self, "branch_fn", _BRANCH_FUNCS.get(op))
 
     # ------------------------------------------------------------------
     # Classification helpers (properties mirror the precomputed fields)
@@ -215,47 +220,116 @@ class Instruction:
         return self.disassemble()
 
 
+def _add(a: int, b: int) -> int:
+    return (a + b) & WORD_MASK
+
+
+def _sub(a: int, b: int) -> int:
+    return (a - b) & WORD_MASK
+
+
+def _mul(a: int, b: int) -> int:
+    return (a * b) & WORD_MASK
+
+
+def _and(a: int, b: int) -> int:
+    return a & b
+
+
+def _or(a: int, b: int) -> int:
+    return a | b
+
+
+def _xor(a: int, b: int) -> int:
+    return a ^ b
+
+
+def _shl(a: int, b: int) -> int:
+    return (a << (b & 63)) & WORD_MASK
+
+
+def _shr(a: int, b: int) -> int:
+    return a >> (b & 63)
+
+
+def _mov(a: int, b: int) -> int:
+    return a
+
+
+def _li(a: int, b: int) -> int:
+    return b & WORD_MASK
+
+
+#: Opcode -> evaluator dispatch table; the execute stage binds these once
+#: per static instruction (``Instruction.alu_fn``) so a dynamic instance
+#: pays one call, not an if/elif chain.
+_ALU_FUNCS = {
+    Opcode.ADD: _add,
+    Opcode.ADDI: _add,
+    Opcode.SUB: _sub,
+    Opcode.MUL: _mul,
+    Opcode.MULI: _mul,
+    Opcode.AND: _and,
+    Opcode.ANDI: _and,
+    Opcode.OR: _or,
+    Opcode.XOR: _xor,
+    Opcode.XORI: _xor,
+    Opcode.SHL: _shl,
+    Opcode.SHLI: _shl,
+    Opcode.SHR: _shr,
+    Opcode.SHRI: _shr,
+    Opcode.MOV: _mov,
+    Opcode.LI: _li,
+}
+
+
 def evaluate_alu(opcode: Opcode, a: int, b: int) -> int:
     """Functionally evaluate an ALU operation on 64-bit unsigned values."""
-    if opcode in (Opcode.ADD, Opcode.ADDI):
-        return (a + b) & WORD_MASK
-    if opcode is Opcode.SUB:
-        return (a - b) & WORD_MASK
-    if opcode in (Opcode.MUL, Opcode.MULI):
-        return (a * b) & WORD_MASK
-    if opcode in (Opcode.AND, Opcode.ANDI):
-        return a & b
-    if opcode is Opcode.OR:
-        return a | b
-    if opcode in (Opcode.XOR, Opcode.XORI):
-        return a ^ b
-    if opcode in (Opcode.SHL, Opcode.SHLI):
-        return (a << (b & 63)) & WORD_MASK
-    if opcode in (Opcode.SHR, Opcode.SHRI):
-        return a >> (b & 63)
-    if opcode is Opcode.MOV:
-        return a
-    if opcode is Opcode.LI:
-        return b & WORD_MASK
-    raise ExecutionError(f"{opcode} is not an ALU opcode")
+    fn = _ALU_FUNCS.get(opcode)
+    if fn is None:
+        raise ExecutionError(f"{opcode} is not an ALU opcode")
+    return fn(a, b)
+
+
+def _signed(value: int) -> int:
+    return value - (1 << 64) if value >> 63 else value
+
+
+def _jmp_taken(a: int, b: int) -> bool:
+    return True
+
+
+def _beq(a: int, b: int) -> bool:
+    return a == b
+
+
+def _bne(a: int, b: int) -> bool:
+    return a != b
+
+
+def _blt(a: int, b: int) -> bool:
+    return _signed(a) < _signed(b)
+
+
+def _bge(a: int, b: int) -> bool:
+    return _signed(a) >= _signed(b)
+
+
+#: Opcode -> predicate dispatch table (``Instruction.branch_fn``).
+#: ``blt``/``bge`` compare as two's-complement signed 64-bit values,
+#: which lets kernels count down through zero.
+_BRANCH_FUNCS = {
+    Opcode.JMP: _jmp_taken,
+    Opcode.BEQ: _beq,
+    Opcode.BNE: _bne,
+    Opcode.BLT: _blt,
+    Opcode.BGE: _bge,
+}
 
 
 def branch_taken(opcode: Opcode, a: int, b: int) -> bool:
-    """Evaluate a branch predicate.
-
-    ``blt``/``bge`` compare as two's-complement signed 64-bit values, which
-    lets kernels count down through zero.
-    """
-    if opcode is Opcode.JMP:
-        return True
-    if opcode is Opcode.BEQ:
-        return a == b
-    if opcode is Opcode.BNE:
-        return a != b
-    signed_a = a - (1 << 64) if a >> 63 else a
-    signed_b = b - (1 << 64) if b >> 63 else b
-    if opcode is Opcode.BLT:
-        return signed_a < signed_b
-    if opcode is Opcode.BGE:
-        return signed_a >= signed_b
-    raise ExecutionError(f"{opcode} is not a branch opcode")
+    """Evaluate a branch predicate."""
+    fn = _BRANCH_FUNCS.get(opcode)
+    if fn is None:
+        raise ExecutionError(f"{opcode} is not a branch opcode")
+    return fn(a, b)

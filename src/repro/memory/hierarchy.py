@@ -60,6 +60,15 @@ class MemoryHierarchy:
         self.mshrs = MSHRFile(config.l1.mshrs)
         self._levels: List[CacheLevel] = [self.l1, self.l2, self.l3]
         self._watched: dict = {}
+        # AccessResult is frozen, so every fixed-latency outcome can be a
+        # preallocated singleton — the hot access path then allocates only
+        # for coalesced hits, whose latency varies per request.
+        dram_latency = config.l3.latency + config.dram_latency
+        self._hit_l1 = AccessResult(config.l1.latency, 1, True)
+        self._miss_l2 = AccessResult(config.l2.latency, 2, False)
+        self._miss_l3 = AccessResult(config.l3.latency, 3, False)
+        self._miss_dram = AccessResult(dram_latency, DRAM_LEVEL, False)
+        self._retry = AccessResult(0, 0, False, retry=True)
 
     # ------------------------------------------------------------------
     # Address helpers
@@ -70,6 +79,7 @@ class MemoryHierarchy:
     # ------------------------------------------------------------------
     # Demand / doppelganger / prefetch accesses
     # ------------------------------------------------------------------
+    # repro: hot
     def access(self, address: int, cycle: int, is_write: bool = False) -> AccessResult:
         """A full access: may miss all the way to DRAM and fills on the way.
 
@@ -77,10 +87,11 @@ class MemoryHierarchy:
         counter) when the L1 MSHRs are exhausted.
         """
         stats = self.stats
-        line = self.line_address(address)
+        mshrs = self.mshrs
+        line = self.l1.line_address(address)
         if self._watched and line in self._watched:
             self._watched[line] += 1
-        inflight = self.mshrs.outstanding_completion(line, cycle)
+        inflight = mshrs.outstanding_completion(line, cycle)
         stats.l1_accesses += 1
         if inflight is not None:
             # Coalesce with the outstanding miss for this line.
@@ -93,29 +104,29 @@ class MemoryHierarchy:
             )
         if self.l1.access(line, cycle, is_write):
             stats.l1_hits += 1
-            return AccessResult(self.config.l1.latency, 1, True)
+            return self._hit_l1
         stats.l1_misses += 1
-        if not self.mshrs.can_allocate(cycle):
+        if not mshrs.can_allocate(cycle):
             stats.mshr_stalls += 1
-            return AccessResult(0, 0, False, retry=True)
+            return self._retry
 
         stats.l2_accesses += 1
         if self.l2.access(line, cycle):
             stats.l2_hits += 1
-            latency, level = self.config.l2.latency, 2
+            result = self._miss_l2
         else:
             stats.l3_accesses += 1
             if self.l3.access(line, cycle):
                 stats.l3_hits += 1
-                latency, level = self.config.l3.latency, 3
+                result = self._miss_l3
             else:
                 stats.dram_accesses += 1
-                latency, level = self.config.l3.latency + self.config.dram_latency, DRAM_LEVEL
+                result = self._miss_dram
                 self._fill(self.l3, line, cycle)
             self._fill(self.l2, line, cycle)
-        self.mshrs.allocate(line, cycle + latency, cycle)
+        mshrs.allocate(line, cycle + result.latency, cycle)
         self._fill(self.l1, line, cycle, is_write=is_write)
-        return AccessResult(latency, level, False)
+        return result
 
     def _fill(self, level: CacheLevel, line: int, cycle: int, is_write: bool = False) -> None:
         evicted = level.fill(line, cycle, is_write=is_write)

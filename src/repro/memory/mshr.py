@@ -8,7 +8,8 @@ is already outstanding coalesce into the existing entry.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from heapq import heappop, heappush
+from typing import Dict, List, Optional, Tuple
 
 from repro.common.errors import ConfigError, StructuralHazardError
 
@@ -21,13 +22,21 @@ class MSHRFile:
             raise ConfigError("MSHR file needs at least one entry")
         self.entries = entries
         self._outstanding: Dict[int, int] = {}
+        # Min-heap of (completion, line) mirroring _outstanding, so expiry
+        # pops only the entries that are actually due instead of scanning
+        # the whole dict on every access (the common case is "nothing to
+        # expire").  Heap entries go stale when an allocation shortens a
+        # line's completion or an entry is removed; _expire tolerates this
+        # by discarding any popped pair that no longer matches the dict.
+        self._ready_heap: List[Tuple[int, int]] = []
 
     def _expire(self, cycle: int) -> None:
-        if not self._outstanding:
-            return
-        done = [line for line, ready in self._outstanding.items() if ready <= cycle]
-        for line in done:
-            del self._outstanding[line]
+        heap = self._ready_heap
+        outstanding = self._outstanding
+        while heap and heap[0][0] <= cycle:
+            ready, line = heappop(heap)
+            if outstanding.get(line) == ready:
+                del outstanding[line]
 
     def outstanding_completion(self, line: int, cycle: int) -> Optional[int]:
         """If ``line`` has a miss in flight, its completion cycle."""
@@ -63,6 +72,7 @@ class MSHRFile:
         existing = self._outstanding.get(line)
         if existing is None or completion < existing:
             self._outstanding[line] = completion
+            heappush(self._ready_heap, (completion, line))
 
     def in_flight(self, cycle: int) -> int:
         """Number of outstanding misses at ``cycle``."""
@@ -110,3 +120,4 @@ class MSHRFile:
 
     def reset(self) -> None:
         self._outstanding.clear()
+        self._ready_heap.clear()

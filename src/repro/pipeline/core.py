@@ -30,8 +30,10 @@ prefetches) → dispatch/fetch.
 
 from __future__ import annotations
 
+import gc
 import heapq
 from collections import deque
+from heapq import heappop, heappush
 from typing import Deque, Dict, List, Optional, Tuple
 
 from repro.common.config import SystemConfig, default_config
@@ -46,11 +48,10 @@ from repro.isa.instructions import (
     KIND_LOAD,
     KIND_NOP,
     KIND_STORE,
-    branch_taken,
-    evaluate_alu,
 )
 from repro.isa.program import Program
 from repro.memory.hierarchy import MemoryHierarchy
+from repro.pipeline.decode import decode_program
 from repro.pipeline.hooks import build_guardrails
 from repro.pipeline.shadows import ShadowTracker
 from repro.pipeline.uop import NO_FORWARD, UNTAINTED, MicroOp, UopState
@@ -82,9 +83,8 @@ _K_STORE_DATA = 1
 _FORWARD_LATENCY = 2
 """Cycles for a store-buffer forward to deliver data."""
 
-_SQUASHED = UopState.SQUASHED
-_COMPLETED = UopState.COMPLETED
-_COMMITTED = UopState.COMMITTED
+# Plain-int UopState values (see repro.pipeline.uop.STATE_*): hot paths
+# compare against literals; 2=COMPLETED, 3=COMMITTED, 4=SQUASHED.
 
 
 class Core:
@@ -141,10 +141,25 @@ class Core:
         # on its store's data — a same-step producer event.
         self._mem_retry: List[MicroOp] = []
         self._forward_retry: List[MicroOp] = []
-        self._events: List[Tuple[int, int, int, MicroOp]] = []
+        # Calendar queue of timed events: cycle -> [(kind, uop), ...] in
+        # schedule order, plus a min-heap holding each live bucket's cycle
+        # once.  Scheduling is a dict probe + list append instead of a
+        # heap sift; same-cycle events drain in insertion order, exactly
+        # the ordering the old (when, counter, kind, uop) heap's counter
+        # tie-break produced.  Handlers only ever schedule into the
+        # future (latency >= 1), so a bucket never grows while draining.
+        self._events: Dict[int, List[Tuple[int, MicroOp]]] = {}
+        self._event_cycles: List[int] = []
         self._event_counter = 0
         self._frontier_waiters: List[Tuple[int, int, int, MicroOp]] = []
         self._prefetch_queue: Deque[int] = deque()
+
+        # Word-granular LSQ indexes: word address -> address-resolved,
+        # uncommitted entries (AGU-completion order).  Forwarding,
+        # violation checks, and value binding consult these instead of
+        # scanning the whole queue; squashed entries are dropped lazily.
+        self._sq_index: Dict[int, List[MicroOp]] = {}
+        self._lq_index: Dict[int, List[MicroOp]] = {}
 
         self.tracer = None
         self.cycle = 0
@@ -184,6 +199,32 @@ class Core:
         self._prefetch_enabled = self.config.prefetch_enabled
         self._train_on_execute = self.config.predictor.train_on_execute
 
+        # Scheme fast-path flags, hoisted: a False flag means the hook is
+        # the base no-op and the call site is skipped entirely.
+        self._gates_values = scheme.gates_values
+        self._gates_loads = scheme.gates_loads
+        self._gates_stores = scheme.gates_stores
+        self._gates_branches = scheme.gates_branches
+        self._uses_probe = scheme.uses_probe
+        self._uses_taint = scheme.uses_taint
+
+        # Per-program decode table, shared across cores/windows/runs via
+        # the process-local cache in repro.pipeline.decode.
+        self._decoded = decode_program(program, self.config)
+        self._dec_entries = self._decoded.entries
+        self._dec_len = self._decoded.length
+
+        # Writeback dispatch table, indexed by _EV_* kind.
+        self._ev_handlers = (
+            self._complete,                  # _EV_ALU
+            self._resolve_branch,            # _EV_BRANCH
+            self._finish_load_agu,           # _EV_AGU_LOAD
+            self._finish_store_agu,          # _EV_AGU_STORE
+            self._complete,                  # _EV_MEM
+            self._release_doppelganger,      # _EV_DL
+            self._validate_value_prediction, # _EV_VP_VALIDATE
+        )
+
         # Guardrails are attached through the provider registry
         # (repro.pipeline.hooks) so the core never imports the observer
         # package.  The watchdog is always armed when a provider is
@@ -195,30 +236,69 @@ class Core:
         self._check_interval = interval
         self._check_countdown = interval
 
+        # The unsafe baseline never consults the shadow frontier, so the
+        # tracker bookkeeping (caster add/resolve/squash) can be skipped
+        # wholesale — unless something else reads it: the invariant
+        # checker cross-validates the tracker against the ROB, and the
+        # doppelganger engine's release rule waits on the frontier.
+        self._track_shadows = (
+            scheme.needs_shadows
+            or scheme.address_prediction
+            or self.invariant_checker is not None
+        )
+
     # ==================================================================
     # Public API
     # ==================================================================
     def run(self, max_instructions: Optional[int] = None) -> SimStats:
-        """Simulate until the program halts (or the budget is reached)."""
+        """Simulate until the program halts (or the budget is reached).
+
+        In event-driven mode the per-step scheduling logic of
+        :meth:`step` is inlined here with the hot structures bound to
+        locals — a step is executed millions of times and the repeated
+        ``self.X`` lookups are a measurable fraction of total wall time.
+        The inlined body and :meth:`step` must stay semantically
+        identical; the reference loop (``idle_skip=False``) and the
+        differential suites pin that equivalence.
+        """
         limit = self.config.max_cycles
         watchdog = self.watchdog
         window = watchdog.window if watchdog is not None else 0
         stats = self.stats
-        while not self.halted:
-            if max_instructions is not None and (
-                stats.committed_instructions >= max_instructions
-            ):
-                break
-            if self.cycle >= limit:
-                raise SimulationLimitError(
-                    f"{self.program.name}: exceeded {limit} cycles"
-                )
-            if (
-                watchdog is not None
-                and self._step_count - self._last_commit_step > window
-            ):
-                watchdog.trip(self)
-            self.step()
+        # Suspend the cyclic GC for the duration of the loop: a run
+        # allocates one MicroOp (plus event tuples) per fetched
+        # instruction, which drives generation-0 collections at a rate
+        # that costs several percent of wall time.  The uop graph does
+        # contain cycles (producer.waiters <-> consumer.src1_uop), so
+        # collection is re-enabled afterwards and the deferred work
+        # happens at the normal thresholds outside the hot loop.
+        # Purely a wall-clock optimization: GC timing cannot affect
+        # SimStats, so both idle_skip modes remain bit-identical.
+        gc_was_enabled = gc.isenabled()
+        if gc_was_enabled:
+            gc.disable()
+        try:
+            if not self._idle_skip:
+                while not self.halted:
+                    if max_instructions is not None and (
+                        stats.committed_instructions >= max_instructions
+                    ):
+                        break
+                    if self.cycle >= limit:
+                        raise SimulationLimitError(
+                            f"{self.program.name}: exceeded {limit} cycles"
+                        )
+                    if (
+                        watchdog is not None
+                        and self._step_count - self._last_commit_step > window
+                    ):
+                        watchdog.trip(self)
+                    self.step()
+            else:
+                self._run_event_loop(max_instructions, limit, watchdog, window)
+        finally:
+            if gc_was_enabled:
+                gc.enable()
         if self.halted:
             stats.cycles = self.cycle
         else:
@@ -229,6 +309,94 @@ class Core:
             # count is independent of idle skipping.
             stats.cycles = self._last_step_cycle + 1
         return stats
+
+    # repro: hot
+    def _run_event_loop(
+        self,
+        max_instructions: Optional[int],
+        limit: int,
+        watchdog,
+        window: int,
+    ) -> None:
+        """The event-driven scheduler loop (idle_skip=True), inlined.
+
+        One iteration == one :meth:`step` preceded by the budget, cycle-
+        limit, and watchdog checks of :meth:`run` — the same order as the
+        reference path, so both modes trip limits at identical points.
+        """
+        stats = self.stats
+        event_cycles = self._event_cycles
+        waiters = self._frontier_waiters
+        ready = self._ready
+        rob = self.rob
+        mem_queue = self._mem_queue
+        mem_retry = self._mem_retry
+        forward_retry = self._forward_retry
+        prefetch_queue = self._prefetch_queue
+        engine = self.engine
+        checker = self.invariant_checker
+        load_ports = self._load_ports
+        # Bound late so profiling wrappers installed on the class are
+        # picked up (they wrap the class attribute, not this loop).
+        writeback = self._writeback
+        process_frontier = self._process_frontier
+        commit = self._commit
+        issue = self._issue
+        schedule_memory = self._schedule_memory
+        issue_prefetches = self._issue_prefetches
+        dispatch = self._dispatch
+        next_cycle = self._next_cycle
+        # Budget as a plain int so the per-step check is one comparison.
+        budget = max_instructions if max_instructions is not None else -1
+        while not self.halted:
+            if budget >= 0 and stats.committed_instructions >= budget:
+                return
+            now = self.cycle
+            if now >= limit:
+                raise SimulationLimitError(
+                    f"{self.program.name}: exceeded {limit} cycles"
+                )
+            step_count = self._step_count
+            if watchdog is not None and (
+                step_count - self._last_commit_step > window
+            ):
+                watchdog.trip(self)
+            self._step_count = step_count + 1
+            self._last_step_cycle = now
+            if event_cycles and event_cycles[0] <= now:
+                writeback(now)
+            if waiters:
+                process_frontier(now)
+            if rob:
+                state = rob[0].state
+                if state == 2 or state == 3:
+                    commit(now)
+                    if self.halted:
+                        return
+            if ready:
+                issue(now)
+            ports = load_ports
+            if mem_queue or mem_retry or forward_retry:
+                ports = schedule_memory(now, ports)
+            if engine is not None and engine.has_candidates():
+                ports = engine.issue_spare(ports, now)
+            if prefetch_queue and ports > 0:
+                issue_prefetches(now, ports)
+            if not self.fetch_halted and now >= self.fetch_stalled_until:
+                dispatch(now)
+            # Fast path: these queues are exactly _next_cycle's first
+            # wake-source guard — when any is non-empty the next step is
+            # provably at now + 1, so skip the call.
+            if ready or mem_queue or forward_retry or prefetch_queue:
+                nxt = now + 1
+            else:
+                nxt = next_cycle(now)
+            if checker is not None:
+                self._check_countdown -= nxt - now
+                if self._check_countdown <= 0:
+                    self._check_countdown = self._check_interval
+                    checker.check()
+            self.cycle = nxt
 
     def step(self) -> None:
         """Advance the core by one cycle (or skip an idle stretch).
@@ -246,8 +414,8 @@ class Core:
         self._step_count += 1
         self._last_step_cycle = now
         if self._idle_skip:
-            events = self._events
-            if events and events[0][0] <= now:
+            cycles = self._event_cycles
+            if cycles and cycles[0] <= now:
                 self._writeback(now)
             if self._frontier_waiters:
                 self._process_frontier(now)
@@ -325,8 +493,8 @@ class Core:
         if not self._dispatch_blocked(now):
             return now + 1
         candidates = []
-        if self._events:
-            candidates.append(self._events[0][0])
+        if self._event_cycles:
+            candidates.append(self._event_cycles[0])
         if self._mem_retry:
             wake = self.hierarchy.mshrs.next_free(now)
             if wake is None:
@@ -377,69 +545,74 @@ class Core:
     # ==================================================================
     # Phase 1: writeback (timed events)
     # ==================================================================
+    # repro: hot
     def _writeback(self, now: int) -> None:
-        events = self._events
-        while events and events[0][0] <= now:
-            _, _, kind, uop = heapq.heappop(events)
-            if uop.state == _SQUASHED:
+        cycles = self._event_cycles
+        buckets = self._events
+        handlers = self._ev_handlers
+        while cycles and cycles[0] <= now:
+            bucket = buckets.pop(heappop(cycles), None)
+            if bucket is None:  # bucket cleared behind our back (tests)
                 continue
-            if kind == _EV_ALU or kind == _EV_MEM:
-                self._complete(uop)
-            elif kind == _EV_BRANCH:
-                self._resolve_branch(uop, now)
-            elif kind == _EV_AGU_LOAD:
-                self._finish_load_agu(uop, now)
-            elif kind == _EV_AGU_STORE:
-                self._finish_store_agu(uop, now)
-            elif kind == _EV_DL:
-                self._release_doppelganger(uop, now)
-            elif kind == _EV_VP_VALIDATE:
-                self._validate_value_prediction(uop, now)
+            for kind, uop in bucket:
+                if uop.state != 4:  # not squashed
+                    handlers[kind](uop, now)
 
-    def _complete(self, uop: MicroOp) -> None:
-        if uop.state >= _COMPLETED:
+    # repro: hot
+    def _complete(self, uop: MicroOp, now: int = 0) -> None:
+        if uop.state >= 2:  # completed/committed/squashed
             return
-        uop.state = _COMPLETED
+        uop.state = 2  # STATE_COMPLETED
         if self.tracer is not None:
             self.tracer.on_complete(uop, self.cycle)
-        block = self.scheme.value_block_seq(uop)
-        if block != READY:
-            # Completed but locked (NDA-P): dependents wake when the
-            # shadow frontier reaches the producer itself.
-            self._wait_frontier(block, uop, _W_UNLOCK)
-        else:
+        if self._gates_values:
+            block = self.scheme.value_block_seq(uop)
+            if block != READY:
+                # Completed but locked (NDA-P): dependents wake when the
+                # shadow frontier reaches the producer itself.
+                self._wait_frontier(block, uop, _W_UNLOCK)
+                return
+        if uop.waiters:
             self._notify_waiters(uop)
 
+    # repro: hot
     def _notify_waiters(self, producer: MicroOp) -> None:
         waiters = producer.waiters
         if not waiters:
             return
         producer.waiters = None
+        ready = self._ready
         for consumer, kind in waiters:
-            if consumer.state == _SQUASHED:
+            if consumer.state == 4:  # squashed
                 continue
             if kind == _K_ISSUE:
-                consumer.wait_count -= 1
-                if consumer.wait_count == 0 and consumer.in_iq:
-                    self._push_ready(consumer)
+                wait_count = consumer.wait_count - 1
+                consumer.wait_count = wait_count
+                if wait_count == 0 and consumer.in_iq and not consumer.in_ready:
+                    consumer.in_ready = True
+                    heappush(ready, (consumer.seq, consumer))
             else:  # _K_STORE_DATA
                 consumer.result = producer.result or 0
                 consumer.store_data_ready = True
-                self._maybe_complete_store(consumer)
+                if consumer.address_ready:
+                    self._complete(consumer)
 
+    # repro: hot
     def _resolve_branch(self, branch: MicroOp, now: int) -> None:
         # The outcome was computed at execute; the *resolution* (shadow
         # clear, possible squash) may still be deferred by the scheme —
         # STT while the predicate is tainted, DoM+AP until the branch is
         # non-speculative (in-order resolution).  Deferred resolutions
         # pipeline: each fires the moment the frontier reaches its key.
-        taint = self._operand_taint(branch) if self.scheme.uses_taint else UNTAINTED
-        block = self.scheme.branch_block_seq(branch, taint)
-        if block != READY:
-            self._wait_frontier(block, branch, _W_BRANCH)
-            return
+        if self._gates_branches:
+            taint = self._operand_taint(branch) if self._uses_taint else UNTAINTED
+            block = self.scheme.branch_block_seq(branch, taint)
+            if block != READY:
+                self._wait_frontier(block, branch, _W_BRANCH)
+                return
         branch.branch_resolved = True
-        self.shadows.branch_resolved(branch.seq)
+        if self._track_shadows:
+            self.shadows.branch_resolved(branch.seq)
         self._complete(branch)
         if branch.actual_taken != branch.predicted_taken:
             self.stats.branch_mispredictions += 1
@@ -448,8 +621,15 @@ class Core:
             target = branch.inst.imm if branch.actual_taken else branch.pc + 1
             self._squash_from(branch.seq, target, history_restored=True)
 
+    # repro: hot
     def _finish_load_agu(self, load: MicroOp, now: int) -> None:
         load.address_ready = True
+        word = load.address & ~7
+        lst = self._lq_index.get(word)
+        if lst is None:
+            self._lq_index[word] = [load]
+        else:
+            lst.append(load)
         if self._train_on_execute:
             # INSECURE ablation path: observes speculative/wrong-path
             # addresses (see PredictorConfig.train_on_execute).
@@ -457,35 +637,52 @@ class Core:
         if self.engine is not None:
             self.engine.on_address_resolved(load, now)
         if not (load.has_doppelganger and load.dl_correct):
-            self._push_mem(load)
+            heappush(self._mem_queue, (load.seq, load))
 
+    # repro: hot
     def _finish_store_agu(self, store: MicroOp, now: int) -> None:
         store.address_ready = True
-        self.shadows.store_address_resolved(store.seq)
-        self._maybe_complete_store(store)
+        word = store.address & ~7
+        lst = self._sq_index.get(word)
+        if lst is None:
+            self._sq_index[word] = [store]
+        else:
+            lst.append(store)
+        if self._track_shadows:
+            self.shadows.store_address_resolved(store.seq)
+        if store.store_data_ready:
+            self._complete(store)
         self._check_violations(store)
 
     def _check_violations(self, store: MicroOp) -> None:
         """Memory-order violation: a younger load already bound a value for
         this store's word without forwarding from it (or something
         younger).  Squash from the oldest violator and refetch it."""
-        word = store.word_address
+        lst = self._lq_index.get(store.word_address)
+        if not lst:
+            return
+        store_seq = store.seq
         violator: Optional[MicroOp] = None
-        for load in self.lq:
-            if load.squashed or load.seq < store.seq or load.result is None:
+        stale = False
+        for load in lst:
+            if load.state == 4:  # squashed; dropped lazily below
+                stale = True
                 continue
-            if not load.address_ready or load.word_address != word:
+            if load.seq < store_seq or load.result is None:
                 continue
-            if load.forward_source_seq >= store.seq:
+            if load.forward_source_seq >= store_seq:
                 continue
-            violator = load
-            break
+            if violator is None or load.seq < violator.seq:
+                violator = load
+        if stale:
+            lst[:] = [load for load in lst if load.state != 4]
         if violator is not None:
             self._squash_from(violator.seq - 1, violator.pc, violator.bp_history)
 
     def _release_doppelganger(self, load: MicroOp, now: int) -> None:
         """A verified-correct doppelganger's value becomes the load result."""
-        if load.state == _SQUASHED or load.completed or load.executed:
+        state = load.state
+        if state == 4 or state == 2 or state == 3 or load.executed:
             return
         if load.dl_invalidated:
             # §4.5: a noted invalidation takes effect at propagation time —
@@ -505,10 +702,38 @@ class Core:
         if load.forward_source_seq != NO_FORWARD:
             load.dl_forwarded = True
             self.stats.dl_forwarded += 1
-        if self.scheme.uses_taint:
+        if self._uses_taint:
             load.taint = self.scheme.load_result_taint(load)
         self.stats.dl_released_early += 1
         self._complete(load)
+
+    def _youngest_matching_store(self, load: MicroOp) -> Optional[MicroOp]:
+        """The youngest in-SQ store older than ``load`` whose resolved
+        address matches the load's word, or None.
+
+        Consults the word-granular SQ index instead of scanning the whole
+        queue; squashed entries are dropped lazily.  Matches the original
+        reversed-queue scan exactly: the index holds only address-ready,
+        uncommitted stores, and the youngest match is the max-seq one.
+        """
+        lst = self._sq_index.get(load.address & ~7)
+        if not lst:
+            return None
+        load_seq = load.seq
+        best: Optional[MicroOp] = None
+        best_seq = -1
+        stale = False
+        for store in lst:
+            if store.state == 4:  # squashed; dropped lazily below
+                stale = True
+                continue
+            seq = store.seq
+            if seq <= load_seq and seq > best_seq:
+                best = store
+                best_seq = seq
+        if stale:
+            lst[:] = [store for store in lst if store.state != 4]
+        return best
 
     def _bind_load_value(self, load: MicroOp) -> bool:
         """Functionally bind the load's value (forwarding-aware).
@@ -516,12 +741,8 @@ class Core:
         Returns False when an address-matching older store's data is not
         yet available (the caller must retry).
         """
-        word = load.word_address
-        for store in reversed(self.sq):
-            if store.squashed or store.seq > load.seq:
-                continue
-            if not store.address_ready or store.word_address != word:
-                continue
+        store = self._youngest_matching_store(load)
+        if store is not None:
             if not store.store_data_ready:
                 return False
             load.result = store.result
@@ -545,14 +766,15 @@ class Core:
     def schedule_dl_release(self, load: MicroOp, when: int) -> None:
         self._schedule(when, _EV_DL, load)
 
+    # repro: hot
     def _process_frontier(self, now: int) -> None:
         waiters = self._frontier_waiters
         if not waiters:
             return
         frontier = self.shadows.frontier()
         while waiters and waiters[0][0] <= frontier:
-            _, _, reason, uop = heapq.heappop(waiters)
-            if uop.state == _SQUASHED:
+            _, _, reason, uop = heappop(waiters)
+            if uop.state == 4:  # squashed
                 continue
             if reason == _W_UNLOCK:
                 self._notify_waiters(uop)
@@ -574,19 +796,29 @@ class Core:
     # ==================================================================
     # Phase 3: commit
     # ==================================================================
+    # repro: hot
     def _commit(self, now: int) -> None:
         rob = self.rob
-        if not rob or not rob[0].completed:
+        if not rob:
+            return
+        state = rob[0].state
+        if state != 2 and state != 3:
             return
         width = self._commit_width
         stores_left = self._store_ports
         stats = self.stats
+        rename = self.rename
+        arch_write = self.arch.write_reg
+        tracer = self.tracer
+        step_count = self._step_count
+        committed = 0
+        branches = 0
         while width > 0 and rob:
             uop = rob[0]
-            if not uop.completed:
+            state = uop.state
+            if state != 2 and state != 3:
                 break
-            inst = uop.inst
-            kind = inst.kind
+            kind = uop.kind
             if kind == KIND_STORE and stores_left <= 0:
                 break
             if kind == KIND_LOAD and uop.vp_active:
@@ -594,32 +826,41 @@ class Core:
                 # cannot become architectural before validation.
                 break
             rob.popleft()
-            uop.state = _COMMITTED
-            self._last_commit_cycle = now
-            self._last_commit_step = self._step_count
-            if self.tracer is not None:
-                self.tracer.on_commit(uop, now)
+            uop.state = 3  # STATE_COMMITTED
+            if tracer is not None:
+                tracer.on_commit(uop, now)
             width -= 1
-            stats.committed_instructions += 1
+            committed += 1
+            inst = uop.inst
             if inst.writes:
-                self.arch.write_reg(inst.rd, uop.result or 0)
-                if self.rename.get(inst.rd) is uop:
-                    del self.rename[inst.rd]
-            if kind == KIND_LOAD:
+                rd = inst.rd
+                arch_write(rd, uop.result or 0)
+                if rename.get(rd) is uop:
+                    del rename[rd]
+            if kind == KIND_ALU:
+                pass
+            elif kind == KIND_LOAD:
                 self._commit_load(uop, now)
             elif kind == KIND_STORE:
                 self._commit_store(uop, now)
                 stores_left -= 1
             elif kind == KIND_CBRANCH:
-                stats.committed_branches += 1
+                branches += 1
                 self.bpred.train(uop.pc, uop.actual_taken, uop.bp_history)
             elif kind == KIND_HALT:
                 self.halted = True
-                self.stats.cycles = self.cycle
-                return
+                stats.cycles = self.cycle
+                break
             if uop.waiters:
                 self._notify_waiters(uop)
+        if committed:
+            self._last_commit_cycle = now
+            self._last_commit_step = step_count
+            stats.committed_instructions += committed
+            if branches:
+                stats.committed_branches += branches
 
+    # repro: hot
     def _commit_load(self, load: MicroOp, now: int) -> None:
         stats = self.stats
         stats.committed_loads += 1
@@ -627,6 +868,8 @@ class Core:
             self.lq.popleft()
         else:  # pragma: no cover - defensive; loads commit in order
             self._drop(self.lq, load)
+        if load.address_ready:
+            self._index_remove(self._lq_index, load)
         if load.dom_touch_pending:
             self.hierarchy.touch(load.address, now)
         # Commit is the *only* place predictors are trained — the
@@ -644,12 +887,15 @@ class Core:
         if self.engine is not None:
             self.engine.on_commit(load)
 
+    # repro: hot
     def _commit_store(self, store: MicroOp, now: int) -> None:
         self.stats.committed_stores += 1
         if self.sq and self.sq[0] is store:
             self.sq.popleft()
         else:  # pragma: no cover - defensive; stores commit in order
             self._drop(self.sq, store)
+        if store.address_ready:
+            self._index_remove(self._sq_index, store)
         self.arch.write_mem(store.address, store.result or 0)
         self.hierarchy.access(store.address, now, is_write=True)
 
@@ -658,6 +904,22 @@ class Core:
         try:
             queue.remove(uop)
         except ValueError:
+            pass
+
+    @staticmethod
+    def _index_remove(index: Dict[int, List[MicroOp]], uop: MicroOp) -> None:
+        """Drop an LSQ-index entry (commit/squash of an address-resolved op)."""
+        word = uop.address & ~7
+        lst = index.get(word)
+        if lst is None:
+            return
+        if len(lst) == 1:
+            if lst[0] is uop:
+                del index[word]
+            return
+        try:
+            lst.remove(uop)
+        except ValueError:  # pragma: no cover - already lazily dropped
             pass
 
     # ==================================================================
@@ -675,10 +937,12 @@ class Core:
         if producer is None:
             return False
         state = producer.state
-        if state == _COMMITTED:
+        if state == 3:  # committed
             return False
-        if state < _COMPLETED:
+        if state < 2:  # not yet completed
             return True
+        if not self._gates_values:
+            return False
         return self.scheme.value_block_seq(producer) != READY
 
     def _operand_value(self, producer: Optional[MicroOp], snapshot: int) -> int:
@@ -689,29 +953,40 @@ class Core:
     def _operand_taint(self, uop: MicroOp) -> int:
         taint = self._address_taint(uop)
         producer = uop.src2_uop
-        if producer is not None and producer.state != _COMMITTED and producer.taint > taint:
+        if producer is not None and producer.state != 3 and producer.taint > taint:
             taint = producer.taint
         return taint
 
     @staticmethod
     def _address_taint(uop: MicroOp) -> int:
         producer = uop.src1_uop
-        if producer is not None and producer.state != _COMMITTED:
+        if producer is not None and producer.state != 3:
             return producer.taint
         return UNTAINTED
 
+    # repro: hot
     def _issue(self, now: int) -> None:
         width = self._issue_width
         ready = self._ready
         scheme = self.scheme
-        uses_taint = scheme.uses_taint
+        gates_stores = self._gates_stores
+        uses_taint = self._uses_taint
+        tracer = self.tracer
+        events = self._events
+        event_cycles = self._event_cycles
+        mask = (1 << 64) - 1
+        branch_resolve_latency = self._branch_resolve_latency
+        branch_resolution_floor = 1 + self._branch_resolution_delay
+        counter = self._event_counter
+        issued = 0
         while width > 0 and ready:
-            _, uop = heapq.heappop(ready)
+            uop = heappop(ready)[1]
             uop.in_ready = False
-            if uop.state == _SQUASHED or not uop.in_iq:
+            if uop.state == 4 or not uop.in_iq:  # squashed or stale entry
                 continue
-            inst = uop.inst
-            if inst.kind == KIND_STORE:
+            dec = uop.dec
+            kind = dec[1]
+            if kind == KIND_STORE and gates_stores:
                 # Only the *address* operand (rs1) gates store resolution;
                 # tainted store data is harmless until forwarded, and a
                 # forwarded value can never out-live its taint (monotone
@@ -720,25 +995,102 @@ class Core:
                 taint = self._address_taint(uop) if uses_taint else UNTAINTED
                 block = scheme.store_block_seq(uop, taint)
                 if block != READY:
+                    self._event_counter = counter
                     self._wait_frontier(block, uop, _W_REREADY)
+                    counter = self._event_counter
                     continue
             uop.in_iq = False
-            self.iq_count -= 1
+            issued += 1
             uop.issue_cycle = now
-            if self.tracer is not None:
-                self.tracer.on_issue(uop, now)
-            self._execute(uop, now)
+            if tracer is not None:
+                tracer.on_issue(uop, now)
+            # --- execute, inlined (see _execute for the reference copy) ---
+            producer = uop.src1_uop
+            value1 = uop.src1_value if producer is None else (producer.result or 0)
+            if kind == KIND_ALU:
+                # Result computed now, visible after latency.
+                value2 = (
+                    dec[6]  # immediate operand
+                    if dec[10]
+                    else (
+                        uop.src2_value
+                        if uop.src2_uop is None
+                        else (uop.src2_uop.result or 0)
+                    )
+                )
+                uop.result = dec[8](value1, value2)
+                if uses_taint:
+                    uop.taint = self._operand_taint(uop)
+                when = now + dec[7]
+                bucket = events.get(when)
+                if bucket is None:
+                    events[when] = [(_EV_ALU, uop)]
+                    heappush(event_cycles, when)
+                else:
+                    bucket.append((_EV_ALU, uop))
+            elif kind == KIND_LOAD:
+                uop.address = (value1 + dec[6]) & mask
+                if uses_taint:
+                    uop.taint = self._address_taint(uop)
+                bucket = events.get(now + 1)
+                if bucket is None:
+                    events[now + 1] = [(_EV_AGU_LOAD, uop)]
+                    heappush(event_cycles, now + 1)
+                else:
+                    bucket.append((_EV_AGU_LOAD, uop))
+            elif kind == KIND_STORE:
+                uop.address = (value1 + dec[6]) & mask
+                bucket = events.get(now + 1)
+                if bucket is None:
+                    events[now + 1] = [(_EV_AGU_STORE, uop)]
+                    heappush(event_cycles, now + 1)
+                else:
+                    bucket.append((_EV_AGU_STORE, uop))
+            else:  # conditional branch
+                value2 = (
+                    uop.src2_value
+                    if uop.src2_uop is None
+                    else (uop.src2_uop.result or 0)
+                )
+                uop.actual_taken = dec[9](value1, value2)
+                # Resolution cannot happen before the branch has traversed
+                # the front-end + execute pipeline (a *floor* measured from
+                # fetch, modelling pipeline depth) — but a branch whose
+                # operand arrived late has long since been fetched and
+                # resolves within a couple of cycles of issue.
+                resolve_at = now + branch_resolve_latency
+                floor = uop.dispatch_cycle + branch_resolution_floor
+                if floor > resolve_at:
+                    resolve_at = floor
+                bucket = events.get(resolve_at)
+                if bucket is None:
+                    events[resolve_at] = [(_EV_BRANCH, uop)]
+                    heappush(event_cycles, resolve_at)
+                else:
+                    bucket.append((_EV_BRANCH, uop))
             width -= 1
+        self.iq_count -= issued
+        self._event_counter = counter
 
     def _execute(self, uop: MicroOp, now: int) -> None:
-        """Functionally execute and schedule the completion event."""
+        """Functionally execute and schedule the completion event.
+
+        The reference copy of the execute stage — :meth:`_issue` inlines
+        this logic on its hot path.  Kept callable for single-uop tests
+        and as the readable statement of the semantics; the two must stay
+        in sync.
+        """
+        dec = uop.dec
+        if dec is None:  # uop built outside _dispatch (unit tests)
+            dec = self._dec_entries[uop.pc]
+            uop.dec = dec
         inst = uop.inst
-        kind = inst.kind
+        kind = dec[1]
         producer = uop.src1_uop
         value1 = uop.src1_value if producer is None else (producer.result or 0)
         if kind == KIND_LOAD:
             uop.address = (value1 + inst.imm) & ((1 << 64) - 1)
-            if self.scheme.uses_taint:
+            if self._uses_taint:
                 uop.taint = self._address_taint(uop)
             self._schedule(now + 1, _EV_AGU_LOAD, uop)
             return
@@ -749,12 +1101,7 @@ class Core:
         producer = uop.src2_uop
         value2 = uop.src2_value if producer is None else (producer.result or 0)
         if kind == KIND_CBRANCH:
-            uop.actual_taken = branch_taken(inst.opcode, value1, value2)
-            # Resolution cannot happen before the branch has traversed the
-            # front-end + execute pipeline (a *floor* measured from fetch,
-            # modelling pipeline depth) — but a branch whose operand
-            # arrived late has long since been fetched and resolves within
-            # a couple of cycles of issue.
+            uop.actual_taken = dec[9](value1, value2)
             resolve_at = max(
                 now + self._branch_resolve_latency,
                 uop.dispatch_cycle + 1 + self._branch_resolution_delay,
@@ -762,20 +1109,20 @@ class Core:
             self._schedule(resolve_at, _EV_BRANCH, uop)
             return
         # ALU (LI/MOV included); result computed now, visible after latency.
-        operand_b = inst.imm if inst.rs2 is None else value2
-        uop.result = evaluate_alu(inst.opcode, value1, operand_b)
-        if self.scheme.uses_taint:
+        operand_b = dec[6] if dec[10] else value2
+        uop.result = dec[8](value1, operand_b)
+        if self._uses_taint:
             uop.taint = self._operand_taint(uop)
-        latency = self._mul_latency if inst.is_mul else self._alu_latency
-        self._schedule(now + latency, _EV_ALU, uop)
+        self._schedule(now + dec[7], _EV_ALU, uop)
 
     # ==================================================================
     # Phase 5: memory ports
     # ==================================================================
+    # repro: hot
     def _schedule_memory(self, now: int, ports: int) -> int:
         if self._forward_retry:
             for load in self._forward_retry:
-                if load.state != _SQUASHED:
+                if load.state != 4:
                     self._push_mem(load)
             self._forward_retry.clear()
         if self._mem_retry and self.hierarchy.mshrs.can_allocate(now):
@@ -786,55 +1133,64 @@ class Core:
             # land on the same cycles whether or not the idle stretch in
             # between was skipped.
             for load in self._mem_retry:
-                if load.state != _SQUASHED:
+                if load.state != 4:
                     self._push_mem(load)
             self._mem_retry.clear()
         queue = self._mem_queue
         scheme = self.scheme
+        gates_loads = self._gates_loads
+        uses_probe = self._uses_probe
+        stats = self.stats
+        hierarchy_access = self.hierarchy.access
+        arch_read_mem = self.arch.read_mem
         while ports > 0 and queue:
-            _, load = heapq.heappop(queue)
-            if load.state == _SQUASHED or load.executed:
+            load = heappop(queue)[1]
+            state = load.state
+            if state == 4 or load.executed:  # squashed
                 continue
-            if load.completed and not load.vp_active:
+            if (state == 2 or state == 3) and not load.vp_active:  # completed
                 continue
-            if load.has_doppelganger and load.dl_correct:
+            if load.dl_predicted_address is not None and (
+                not load.dl_cancelled and load.dl_correct
+            ):
                 continue  # value arrives via the doppelganger release
-            block = scheme.load_block_seq(load)
-            if block != READY:
-                self._wait_frontier(block, load, _W_MEM)
-                continue
-            forwarded, blocked, store = self._try_forward(load)
-            if blocked:
+            if gates_loads:
+                block = scheme.load_block_seq(load)
+                if block != READY:
+                    self._wait_frontier(block, load, _W_MEM)
+                    continue
+            store = self._youngest_matching_store(load)
+            if store is not None and not store.store_data_ready:
                 self._forward_retry.append(load)
                 continue
             ports -= 1
-            if forwarded:
-                assert store is not None
+            if store is not None:
                 load.result = store.result
                 load.forward_source_seq = store.seq
                 load.executed = True
-                self.stats.store_to_load_forwards += 1
+                stats.store_to_load_forwards += 1
                 self._finish_load(load, now + _FORWARD_LATENCY, level=0)
                 continue
-            if not load.dom_delayed and scheme.load_is_probe(load):
+            if uses_probe and not load.dom_delayed and scheme.load_is_probe(load):
                 if self.hierarchy.probe(load.address, now):
                     load.executed = True
                     load.dom_touch_pending = True
-                    self._bind_memory_value(load)
+                    load.result = arch_read_mem(load.address)
+                    load.forward_source_seq = NO_FORWARD
                     self._finish_load(load, now + self._l1_latency, 1)
                 else:
                     load.dom_delayed = True
-                    self.stats.dom_delayed_misses += 1
+                    stats.dom_delayed_misses += 1
                     self._wait_frontier(load.seq, load, _W_MEM)
                     if self.value_pred is not None and not load.vp_active:
                         self._speculate_value(load, now)
                 continue
-            result = self.hierarchy.access(load.address, now)
+            result = hierarchy_access(load.address, now)
             if result.retry:
                 self._mem_retry.append(load)
                 continue
             if load.dom_delayed:
-                self.stats.dom_reissued_loads += 1
+                stats.dom_reissued_loads += 1
             load.executed = True
             if load.vp_active:
                 # The delayed miss finally performed its real access:
@@ -843,7 +1199,8 @@ class Core:
                 load.access_level = result.level
                 self._schedule(now + result.latency, _EV_VP_VALIDATE, load)
                 continue
-            self._bind_memory_value(load)
+            load.result = arch_read_mem(load.address)
+            load.forward_source_seq = NO_FORWARD
             self._finish_load(load, now + result.latency, result.level)
         return ports
 
@@ -861,18 +1218,13 @@ class Core:
 
     def _memory_view(self, load: MicroOp) -> int:
         """The value the load's real access observes (forwarding-aware)."""
-        word = load.word_address
-        for store in reversed(self.sq):
-            if store.squashed or store.seq > load.seq:
-                continue
-            if store.address_ready and store.word_address == word:
-                if store.store_data_ready:
-                    return store.result or 0
-                break
+        store = self._youngest_matching_store(load)
+        if store is not None and store.store_data_ready:
+            return store.result or 0
         return self.arch.read_mem(load.address)
 
     def _validate_value_prediction(self, load: MicroOp, now: int) -> None:
-        if load.state == _SQUASHED or not load.vp_active:
+        if load.state == 4 or not load.vp_active:
             return
         load.vp_active = False
         if load.vp_real_value == load.result:
@@ -895,16 +1247,12 @@ class Core:
         matching older store with ready data exists, *blocked* when the
         match exists but its data is not ready yet.
         """
-        word = load.word_address
-        for store in reversed(self.sq):
-            if store.squashed or store.seq > load.seq:
-                continue
-            if not store.address_ready or store.word_address != word:
-                continue
-            if store.store_data_ready:
-                return True, False, store
-            return False, True, store
-        return False, False, None
+        store = self._youngest_matching_store(load)
+        if store is None:
+            return False, False, None
+        if store.store_data_ready:
+            return True, False, store
+        return False, True, store
 
     def _bind_memory_value(self, load: MicroOp) -> None:
         load.result = self.arch.read_mem(load.address)
@@ -934,72 +1282,180 @@ class Core:
     # ==================================================================
     # Phase 6: dispatch / fetch
     # ==================================================================
+    # repro: hot
     def _dispatch(self, now: int) -> None:
         if self.fetch_halted or now < self.fetch_stalled_until:
             return
         rob, lq, sq = self.rob, self.lq, self.sq
-        program_fetch = self.program.fetch
+        entries = self._dec_entries
+        length = self._dec_len
+        rename = self.rename
+        arch_read = self.arch.read_reg
+        bpred = self.bpred
+        engine = self.engine
+        scheme = self.scheme
+        shadows = self.shadows
+        track_shadows = self._track_shadows
+        gates_values = self._gates_values
+        tracer = self.tracer
+        ready = self._ready
+        rob_entries = self._rob_entries
+        iq_entries = self._iq_entries
+        lq_entries = self._lq_entries
+        sq_entries = self._sq_entries
+        pc = self.fetch_pc
+        seq = self.next_seq
+        iq_count = self.iq_count
+        fetched = 0
         for _ in range(self._decode_width):
-            if len(rob) >= self._rob_entries or self.iq_count >= self._iq_entries:
-                return
-            inst = program_fetch(self.fetch_pc)
-            if inst is None:
+            if len(rob) >= rob_entries or iq_count >= iq_entries:
+                break
+            if pc < 0 or pc >= length:
                 # Fetch ran past the program (wrong path); a
                 # squash-and-redirect restarts it.
                 self.fetch_halted = True
-                return
-            kind = inst.kind
-            if kind == KIND_LOAD and len(lq) >= self._lq_entries:
-                return
-            if kind == KIND_STORE and len(sq) >= self._sq_entries:
-                return
-            uop = MicroOp(self.next_seq, self.fetch_pc, inst, now)
-            self.next_seq += 1
-            self.stats.fetched_instructions += 1
-            if self.tracer is not None:
-                self.tracer.on_dispatch(uop, now)
-            uop.bp_history = self.bpred.history
-            self._rename_sources(uop)
-            if inst.writes:
-                self._rename_destination(uop)
-            rob.append(uop)
-            next_pc = self.fetch_pc + 1
-            taken_transfer = False
-            if kind == KIND_ALU:
-                self._enter_iq(uop, wait_rs2=True)
-            elif kind == KIND_LOAD:
-                lq.append(uop)
-                self._enter_iq(uop, wait_rs2=False)
-                if self.engine is not None:
-                    self.engine.on_dispatch(uop)
+                break
+            dec = entries[pc]
+            kind = dec[1]
+            if kind == KIND_LOAD:
+                if len(lq) >= lq_entries:
+                    break
             elif kind == KIND_STORE:
-                sq.append(uop)
-                self.shadows.store_dispatched(uop.seq)
-                self._enter_iq(uop, wait_rs2=False)
-                self._bind_store_data(uop)
-            elif kind == KIND_CBRANCH:
-                self.shadows.branch_dispatched(uop.seq)
-                uop.predicted_taken = self.bpred.predict(uop.pc)
-                self._enter_iq(uop, wait_rs2=True)
-                if uop.predicted_taken:
-                    next_pc = inst.imm
-                    taken_transfer = True
+                if len(sq) >= sq_entries:
+                    break
+            inst = dec[0]
+            uop = MicroOp(seq, pc, inst, now)
+            uop.dec = dec
+            seq += 1
+            fetched += 1
+            if tracer is not None:
+                tracer.on_dispatch(uop, now)
+            uop.bp_history = bpred.history
+            # --- rename sources (reference copy: _rename_sources) ---
+            ren1 = dec[4]
+            if ren1 is not None:
+                producer = rename.get(ren1)
+                if producer is not None:
+                    uop.src1_uop = producer
+                else:
+                    uop.src1_value = arch_read(ren1)
+            ren2 = dec[5]
+            if ren2 is not None:
+                producer = rename.get(ren2)
+                if producer is not None:
+                    uop.src2_uop = producer
+                else:
+                    uop.src2_value = arch_read(ren2)
+            if dec[2]:  # writes: rename the destination
+                rd = dec[3]
+                uop.prev_producer = rename.get(rd)
+                uop.had_prev_producer = uop.prev_producer is not None
+                rename[rd] = uop
+            rob.append(uop)
+            next_pc = pc + 1
+            taken_transfer = False
+            if kind == KIND_ALU or kind == KIND_CBRANCH:
+                if kind == KIND_CBRANCH:
+                    if track_shadows:
+                        shadows.branch_dispatched(seq - 1)
+                    uop.predicted_taken = bpred.predict(pc)
+                    if uop.predicted_taken:
+                        next_pc = dec[6]
+                        taken_transfer = True
+                # --- enter IQ waiting on both sources (ref: _enter_iq) ---
+                uop.in_iq = True
+                iq_count += 1
+                waits = 0
+                producer = uop.src1_uop
+                if producer is not None:
+                    pstate = producer.state
+                    if pstate != 3 and (
+                        pstate < 2
+                        or (
+                            gates_values
+                            and scheme.value_block_seq(producer) != READY
+                        )
+                    ):
+                        if producer.waiters is None:
+                            producer.waiters = [(uop, _K_ISSUE)]
+                        else:
+                            producer.waiters.append((uop, _K_ISSUE))
+                        waits = 1
+                producer = uop.src2_uop
+                if producer is not None:
+                    pstate = producer.state
+                    if pstate != 3 and (
+                        pstate < 2
+                        or (
+                            gates_values
+                            and scheme.value_block_seq(producer) != READY
+                        )
+                    ):
+                        if producer.waiters is None:
+                            producer.waiters = [(uop, _K_ISSUE)]
+                        else:
+                            producer.waiters.append((uop, _K_ISSUE))
+                        waits += 1
+                uop.wait_count = waits
+                if waits == 0:
+                    uop.in_ready = True
+                    heappush(ready, (uop.seq, uop))
+            elif kind == KIND_LOAD or kind == KIND_STORE:
+                # Memory ops wait on the address operand (rs1) only.
+                if kind == KIND_LOAD:
+                    lq.append(uop)
+                else:
+                    sq.append(uop)
+                    if track_shadows:
+                        shadows.store_dispatched(seq - 1)
+                uop.in_iq = True
+                iq_count += 1
+                producer = uop.src1_uop
+                waits = 0
+                if producer is not None:
+                    pstate = producer.state
+                    if pstate != 3 and (
+                        pstate < 2
+                        or (
+                            gates_values
+                            and scheme.value_block_seq(producer) != READY
+                        )
+                    ):
+                        if producer.waiters is None:
+                            producer.waiters = [(uop, _K_ISSUE)]
+                        else:
+                            producer.waiters.append((uop, _K_ISSUE))
+                        waits = 1
+                uop.wait_count = waits
+                if waits == 0:
+                    uop.in_ready = True
+                    heappush(ready, (uop.seq, uop))
+                if kind == KIND_LOAD:
+                    if engine is not None:
+                        engine.on_dispatch(uop)
+                else:
+                    self._bind_store_data(uop)
             elif kind == KIND_JMP:
                 uop.actual_taken = uop.predicted_taken = True
                 uop.branch_resolved = True
                 self._complete(uop)
-                next_pc = inst.imm
+                next_pc = dec[6]
                 taken_transfer = True
             elif kind == KIND_HALT:
                 self._complete(uop)
-                self.fetch_pc = next_pc
+                pc = next_pc
                 self.fetch_halted = True
-                return
+                break
             else:  # NOP
                 self._complete(uop)
-            self.fetch_pc = next_pc
+            pc = next_pc
             if taken_transfer:
-                return  # one taken control transfer per fetch group
+                break  # one taken control transfer per fetch group
+        if fetched:
+            self.next_seq = seq
+            self.iq_count = iq_count
+            self.stats.fetched_instructions += fetched
+        self.fetch_pc = pc
 
     def _enter_iq(self, uop: MicroOp, wait_rs2: bool) -> None:
         """Register operand waits and enter the (virtual) issue queue."""
@@ -1070,10 +1526,12 @@ class Core:
     ) -> None:
         """Squash everything younger than ``boundary_seq`` and refetch."""
         rob = self.rob
+        rename = self.rename
+        track_shadows = self._track_shadows
         squashed = 0
         while rob and rob[-1].seq > boundary_seq:
             uop = rob.pop()
-            uop.state = _SQUASHED
+            uop.state = 4  # STATE_SQUASHED
             squashed += 1
             if self.tracer is not None:
                 self.tracer.on_squash(uop, self.cycle)
@@ -1081,23 +1539,30 @@ class Core:
                 uop.in_iq = False
                 self.iq_count -= 1
             inst = uop.inst
-            kind = inst.kind
-            if inst.writes and self.rename.get(inst.rd) is uop:
+            kind = uop.kind
+            if inst.writes and rename.get(inst.rd) is uop:
                 # Restore the shadowed producer, unless it has already
                 # committed — its value lives in the architectural file
                 # now, and re-inserting it would leave the map holding a
                 # stale reference past retirement.
                 prev = uop.prev_producer
-                if prev is not None and not prev.committed:
-                    self.rename[inst.rd] = prev
+                if prev is not None and prev.state != 3:
+                    rename[inst.rd] = prev
                 else:
-                    del self.rename[inst.rd]
-            if kind == KIND_CBRANCH and not uop.branch_resolved:
-                self.shadows.caster_squashed(uop.seq, is_branch=True)
-            elif kind == KIND_STORE and not uop.address_ready:
-                self.shadows.caster_squashed(uop.seq, is_branch=False)
-            if kind == KIND_LOAD and self.engine is not None:
-                self.engine.on_squash(uop)
+                    del rename[inst.rd]
+            if kind == KIND_CBRANCH:
+                if track_shadows and not uop.branch_resolved:
+                    self.shadows.caster_squashed(uop.seq, is_branch=True)
+            elif kind == KIND_STORE:
+                if track_shadows and not uop.address_ready:
+                    self.shadows.caster_squashed(uop.seq, is_branch=False)
+                if uop.address_ready:
+                    self._index_remove(self._sq_index, uop)
+            elif kind == KIND_LOAD:
+                if uop.address_ready:
+                    self._index_remove(self._lq_index, uop)
+                if self.engine is not None:
+                    self.engine.on_squash(uop)
         if squashed:
             self.stats.squashed_instructions += squashed
             self._prune(self.lq)
@@ -1125,5 +1590,9 @@ class Core:
     # Event plumbing
     # ==================================================================
     def _schedule(self, when: int, kind: int, uop: MicroOp) -> None:
-        self._event_counter += 1
-        heapq.heappush(self._events, (when, self._event_counter, kind, uop))
+        bucket = self._events.get(when)
+        if bucket is None:
+            self._events[when] = [(kind, uop)]
+            heappush(self._event_cycles, when)
+        else:
+            bucket.append((kind, uop))

@@ -32,20 +32,27 @@ INFINITE_SEQ = 1 << 62
 
 
 class _CasterQueue:
-    """Insertion-ordered unresolved sequence numbers with lazy deletion."""
+    """Insertion-ordered unresolved sequence numbers with lazy deletion.
 
-    __slots__ = ("_queue", "_removed", "_live")
+    ``oldest_seq`` caches the head so the frontier query (the hottest
+    shadow operation) is an attribute read; add/remove keep it current.
+    """
+
+    __slots__ = ("_queue", "_removed", "_live", "oldest_seq")
 
     def __init__(self) -> None:
         self._queue: Deque[int] = deque()
         self._removed: Set[int] = set()
         self._live = 0
+        self.oldest_seq = INFINITE_SEQ
 
     def add(self, seq: int) -> None:
         if self._queue and seq <= self._queue[-1]:
             raise StructuralHazardError(
                 "shadow casters must be added in sequence order"
             )
+        if not self._queue:
+            self.oldest_seq = seq
         self._queue.append(seq)
         self._live += 1
 
@@ -62,11 +69,11 @@ class _CasterQueue:
         removed = self._removed
         while queue and queue[0] in removed:
             removed.discard(queue.popleft())
+        self.oldest_seq = queue[0] if queue else INFINITE_SEQ
 
     def oldest(self) -> int:
         """The oldest unresolved sequence number, or INFINITE_SEQ."""
-        self._compact()
-        return self._queue[0] if self._queue else INFINITE_SEQ
+        return self.oldest_seq
 
     def live(self) -> list:
         """Every unresolved sequence number, oldest first (guardrails)."""
@@ -79,6 +86,7 @@ class _CasterQueue:
         self._queue.clear()
         self._removed.clear()
         self._live = 0
+        self.oldest_seq = INFINITE_SEQ
 
 
 class ShadowTracker:
@@ -115,8 +123,8 @@ class ShadowTracker:
     # ------------------------------------------------------------------
     def frontier(self) -> int:
         """Oldest unresolved shadow caster's seq (INFINITE_SEQ when none)."""
-        branch_oldest = self._branches.oldest()
-        store_oldest = self._stores.oldest()
+        branch_oldest = self._branches.oldest_seq
+        store_oldest = self._stores.oldest_seq
         return branch_oldest if branch_oldest < store_oldest else store_oldest
 
     def is_speculative(self, seq: int) -> bool:

@@ -5,8 +5,23 @@ everything the out-of-order core, the secure-speculation scheme, and the
 doppelganger engine need to track: renamed operands, execution state,
 taint, shadow status, and doppelganger bookkeeping.
 
-``__slots__`` keeps the per-instruction footprint small — a simulation
-creates one MicroOp per fetched (including wrong-path) instruction.
+A simulation creates one MicroOp per fetched (including wrong-path)
+instruction, so construction cost is a first-order term in simulator
+throughput.  The layout is a hybrid:
+
+* fields every uop touches (identity, rename, scoreboard, execution
+  state) live in ``__slots__`` and are initialized eagerly — slot access
+  is the fastest attribute path and these are read millions of times;
+* kind-specific fields (branch prediction state, store data, DoM and
+  doppelganger/value-prediction bookkeeping) are *class-level defaults*:
+  an instance materializes one in its ``__dict__`` (allocated lazily,
+  only for uops that write such a field) the first time a stage writes
+  it.  Reads of never-written fields fall back to the class default,
+  which is semantically identical to eager initialization because every
+  default is immutable (ints, bools, None).
+
+This cuts ``__init__`` from forty-one attribute stores to twenty-five
+while keeping slot-speed access for the hot fields.
 """
 
 from __future__ import annotations
@@ -28,6 +43,10 @@ class UopState(enum.IntEnum):
 
     Loads add orthogonal sub-state (address_ready, executed, completed)
     because address generation and the memory access are separate events.
+
+    ``MicroOp.state`` stores these as **plain ints** (the module-level
+    ``STATE_*`` constants) — hot paths compare against int literals; an
+    IntEnum compares equal to its int value, so both spellings work.
     """
 
     DISPATCHED = 0
@@ -37,14 +56,36 @@ class UopState(enum.IntEnum):
     SQUASHED = 4
 
 
+# Plain-int mirrors of UopState used on hot paths (enum attribute access
+# and enum __eq__ cost real time at MicroOp volumes).
+STATE_DISPATCHED = 0
+STATE_ISSUED = 1
+STATE_COMPLETED = 2
+STATE_COMMITTED = 3
+STATE_SQUASHED = 4
+
+
 class MicroOp:
-    """One dynamic instruction in flight."""
+    """One dynamic instruction in flight.
+
+    Slotted fields are the every-uop hot set (initialized eagerly);
+    class attributes below are lazy per-field defaults for kind-specific
+    state (see module docstring).  All defaults are immutable, so
+    sharing them is safe — the one mutable field (``waiters``) defaults
+    to None and is lazily replaced with a fresh list by the first
+    waiter registration.
+    """
 
     __slots__ = (
         "seq",
         "pc",
         "inst",
+        "kind",
+        "dec",
         "state",
+        "dispatch_cycle",
+        "issue_cycle",
+        "completion_cycle",
         # Renamed sources: producing MicroOp or a snapshotted value.
         "src1_uop",
         "src1_value",
@@ -54,53 +95,59 @@ class MicroOp:
         "had_prev_producer",
         # Results
         "result",
-        "completion_cycle",
-        "issue_cycle",
-        "dispatch_cycle",
         # Taint (STT): max sequence number of any speculative root load.
         "taint",
-        # Branch state
-        "predicted_taken",
-        "actual_taken",
-        "predicted_target",
-        "branch_resolved",
-        "bp_history",
-        # Load/store state
         # Scoreboard wakeup state
         "waiters",
         "wait_count",
         "in_iq",
         "in_ready",
+        # Load/store hot state
         "address",
         "address_ready",
         "executed",
-        "store_data_ready",
         "forward_source_seq",
-        "dom_delayed",
-        "dom_touch_pending",
-        "access_level",
-        "waiting_for_nonspec",
-        # Doppelganger state
-        "dl_predicted_address",
-        "dl_issued",
-        "dl_completion_cycle",
-        "dl_l1_hit",
-        "dl_verified",
-        "dl_correct",
-        "dl_cancelled",
-        "dl_invalidated",
-        "dl_forwarded",
-        "dl_used",
-        # Value prediction (DoM+VP extension)
-        "vp_active",
-        "vp_real_value",
+        "bp_history",
+        # Lazy kind-specific fields land here (allocated on first write).
+        "__dict__",
     )
+
+    # Branch state
+    predicted_taken = False
+    actual_taken = False
+    predicted_target = -1
+    branch_resolved = False
+    # Store / DoM state
+    store_data_ready = False
+    dom_delayed = False
+    dom_touch_pending = False
+    access_level = 0
+    waiting_for_nonspec = False
+    # Doppelganger state
+    dl_predicted_address: Optional[int] = None
+    dl_issued = False
+    dl_completion_cycle = -1
+    dl_l1_hit = False
+    dl_verified = False
+    dl_correct = False
+    dl_cancelled = False
+    dl_invalidated = False
+    dl_forwarded = False
+    dl_used = False
+    # Value prediction (DoM+VP extension)
+    vp_active = False
+    vp_real_value = 0
 
     def __init__(self, seq: int, pc: int, inst: Instruction, cycle: int):
         self.seq = seq
         self.pc = pc
         self.inst = inst
-        self.state = UopState.DISPATCHED
+        self.kind = inst.kind
+        self.dec = None  # decoded entry tuple, set by dispatch
+        self.state = STATE_DISPATCHED
+        self.dispatch_cycle = cycle
+        self.issue_cycle = -1
+        self.completion_cycle = -1
         self.src1_uop: Optional["MicroOp"] = None
         self.src1_value = 0
         self.src2_uop: Optional["MicroOp"] = None
@@ -108,59 +155,36 @@ class MicroOp:
         self.prev_producer: Optional["MicroOp"] = None
         self.had_prev_producer = False
         self.result: Optional[int] = None
-        self.completion_cycle = -1
-        self.issue_cycle = -1
-        self.dispatch_cycle = cycle
         self.taint = UNTAINTED
         self.waiters: Optional[list] = None
         self.wait_count = 0
         self.in_iq = False
         self.in_ready = False
-        self.predicted_taken = False
-        self.actual_taken = False
-        self.predicted_target = -1
-        self.branch_resolved = False
-        self.bp_history = 0
         self.address = -1
         self.address_ready = False
         self.executed = False
-        self.store_data_ready = False
         self.forward_source_seq = NO_FORWARD
-        self.dom_delayed = False
-        self.dom_touch_pending = False
-        self.access_level = 0
-        self.waiting_for_nonspec = False
-        self.dl_predicted_address: Optional[int] = None
-        self.dl_issued = False
-        self.dl_completion_cycle = -1
-        self.dl_l1_hit = False
-        self.dl_verified = False
-        self.dl_correct = False
-        self.dl_cancelled = False
-        self.dl_invalidated = False
-        self.dl_forwarded = False
-        self.dl_used = False
-        self.vp_active = False
-        self.vp_real_value = 0
+        self.bp_history = 0
 
     # ------------------------------------------------------------------
     # State predicates
     # ------------------------------------------------------------------
     @property
     def squashed(self) -> bool:
-        return self.state == UopState.SQUASHED
+        return self.state == STATE_SQUASHED
 
     @property
     def committed(self) -> bool:
-        return self.state == UopState.COMMITTED
+        return self.state == STATE_COMMITTED
 
     @property
     def completed(self) -> bool:
-        return self.state >= UopState.COMPLETED and self.state != UopState.SQUASHED
+        state = self.state
+        return state == STATE_COMPLETED or state == STATE_COMMITTED
 
     @property
     def in_flight(self) -> bool:
-        return self.state < UopState.COMMITTED
+        return self.state < STATE_COMMITTED
 
     @property
     def is_load(self) -> bool:
@@ -187,5 +211,5 @@ class MicroOp:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"MicroOp(seq={self.seq}, pc={self.pc}, "
-            f"{self.inst.disassemble()!r}, state={self.state.name})"
+            f"{self.inst.disassemble()!r}, state={UopState(self.state).name})"
         )

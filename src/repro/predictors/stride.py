@@ -20,7 +20,7 @@ tags prevent the aliasing channel mentioned in §5.1.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from repro.common.config import PredictorConfig
 
@@ -46,6 +46,12 @@ class StrideTable:
         self._sets: List[List[Optional[StrideEntry]]] = [
             [None] * self.ways for _ in range(self.num_sets)
         ]
+        # Exact pc -> entry index over the live entries.  Full-PC tags
+        # make lookups unambiguous, so the set-associative structure only
+        # matters for *capacity and replacement*; the dict gives O(1)
+        # lookup on the hot predict/train paths while _allocate keeps the
+        # two views in sync.
+        self._index: Dict[int, StrideEntry] = {}
         self._clock = 0
         self.trainings = 0
         self.predictions_made = 0
@@ -54,10 +60,7 @@ class StrideTable:
         return self._sets[pc % self.num_sets]
 
     def _find(self, pc: int) -> Optional[StrideEntry]:
-        for entry in self._set_for(pc):
-            if entry is not None and entry.pc == pc:
-                return entry
-        return None
+        return self._index.get(pc)
 
     # ------------------------------------------------------------------
     # Training (commit only!)
@@ -96,7 +99,12 @@ class StrideTable:
                 break
         if victim is None:
             victim = min(range(self.ways), key=lambda i: ways[i].last_used)
-        ways[victim] = StrideEntry(pc=pc, last_address=address, last_used=self._clock)
+        evicted = ways[victim]
+        if evicted is not None:
+            del self._index[evicted.pc]
+        entry = StrideEntry(pc=pc, last_address=address, last_used=self._clock)
+        ways[victim] = entry
+        self._index[pc] = entry
 
     # ------------------------------------------------------------------
     # Address-prediction mode (Doppelganger Loads)
@@ -192,9 +200,14 @@ class TwoDeltaStrideTable(StrideTable):
                 break
         if victim is None:
             victim = min(range(self.ways), key=lambda i: ways[i].last_used)
-        ways[victim] = TwoDeltaEntry(
+        evicted = ways[victim]
+        if evicted is not None:
+            del self._index[evicted.pc]
+        entry = TwoDeltaEntry(
             pc=pc, last_address=address, last_used=self._clock
         )
+        ways[victim] = entry
+        self._index[pc] = entry
 
 
 def make_stride_table(config: PredictorConfig) -> StrideTable:

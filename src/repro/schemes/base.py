@@ -68,6 +68,31 @@ class SecureScheme:
     #: (and squashed on mismatch) when the real load returns.
     uses_value_prediction = False
 
+    # ------------------------------------------------------------------
+    # Fast-path capability flags.  The core hoists these at construction
+    # and skips a hook call site entirely when the scheme declares the
+    # hook is the base no-op — the flag MUST be True whenever the
+    # corresponding hook is overridden (the hooks may have stat side
+    # effects, e.g. NDA's delayed_propagations, STT's
+    # delayed_transmitters, so a wrongly-False flag changes SimStats,
+    # not just timing).
+    # ------------------------------------------------------------------
+    #: value_block_seq is overridden (NDA's value lock).
+    gates_values = False
+    #: load_block_seq is overridden (STT transmitters, DoM delayed misses).
+    gates_loads = False
+    #: store_block_seq is overridden (STT tainted store addresses).
+    gates_stores = False
+    #: branch_block_seq is overridden (STT tainted predicates, DoM+AP
+    #: in-order resolution).  May be refined per instance in __init__.
+    gates_branches = False
+    #: load_is_probe is overridden (DoM's L1 probe discipline).
+    uses_probe = False
+    #: The scheme reads the shadow frontier; the core may skip shadow
+    #: tracking entirely when this is False (unsafe baseline) and no
+    #: consumer of the tracker (guardrails, doppelganger engine) exists.
+    needs_shadows = False
+
     def __init__(self, address_prediction: bool = False):
         self.address_prediction = address_prediction
         self.core: Optional["Core"] = None

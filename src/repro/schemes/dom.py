@@ -30,6 +30,15 @@ class DelayOnMiss(SecureScheme):
 
     name = "dom"
     dl_miss_release_at_nonspec = True
+    gates_loads = True
+    uses_probe = True
+    needs_shadows = True
+
+    def __init__(self, address_prediction: bool = False):
+        super().__init__(address_prediction=address_prediction)
+        # branch_block_seq gates only under the in-order-resolution rule,
+        # which exists solely to close the doppelganger implicit channel.
+        self.gates_branches = address_prediction
 
     def load_is_probe(self, load: MicroOp) -> bool:
         return self.shadows.is_speculative(load.seq)

@@ -21,6 +21,8 @@ class NDAPermissive(SecureScheme):
     while speculative."""
 
     name = "nda"
+    gates_values = True
+    needs_shadows = True
 
     def value_block_seq(self, producer: MicroOp) -> int:
         if not producer.is_load:

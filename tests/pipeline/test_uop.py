@@ -70,7 +70,37 @@ class TestDoppelgangerPredicates:
         uop.dl_cancelled = True
         assert not uop.has_doppelganger
 
-    def test_slots_prevent_typos(self):
-        uop = make()
-        with pytest.raises(AttributeError):
-            uop.dl_predicted_adress = 1  # intentional typo must fail
+    def test_hybrid_layout_contract(self):
+        """Hot fields are slotted; cold fields are lazy class defaults.
+
+        The hybrid layout (see the module docstring of ``uop``) keeps the
+        every-uop hot set in ``__slots__`` for access speed, and stores
+        kind-specific fields as immutable class-level defaults that an
+        instance only materializes in its ``__dict__`` on first write.
+        """
+        uop = make(Opcode.LOAD)
+        # Hot fields live in slots, not the instance dict.
+        for hot in ("seq", "state", "taint", "address", "wait_count"):
+            assert hot in MicroOp.__slots__
+            assert hot not in uop.__dict__
+        # Cold fields read through to the class default without
+        # allocating per-instance storage...
+        assert uop.dl_issued is False
+        assert "dl_issued" not in uop.__dict__
+        # ...and a write materializes only the written field.
+        uop.dl_issued = True
+        assert uop.__dict__ == {"dl_issued": True}
+        assert MicroOp.dl_issued is False  # class default untouched
+
+    def test_lazy_defaults_are_immutable(self):
+        """Shared class-level defaults must be immutable (ints, bools,
+        None) — a mutable default would alias state across every uop."""
+        slotted = set(MicroOp.__slots__)
+        for name, value in vars(MicroOp).items():
+            if name.startswith("_") or callable(value) or name in slotted:
+                continue
+            if isinstance(value, property):
+                continue
+            assert isinstance(value, (int, bool, type(None))), (
+                f"class default {name!r} is mutable: {value!r}"
+            )
