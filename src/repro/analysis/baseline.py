@@ -22,6 +22,7 @@ from typing import Dict, Iterable, List, Sequence, Tuple
 
 from repro.analysis.finding import Finding
 from repro.common.errors import LintError
+from repro.common.io import atomic_write_text
 
 BASELINE_VERSION = 1
 
@@ -139,7 +140,7 @@ def write_baseline(
             }
         )
     payload = {"version": BASELINE_VERSION, "entries": entries}
-    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    atomic_write_text(path, json.dumps(payload, indent=2, sort_keys=True) + "\n")
     return len(entries)
 
 

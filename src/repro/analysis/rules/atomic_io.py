@@ -1,0 +1,136 @@
+"""Atomic-persistence rule (RPL801).
+
+The harness stack survives worker crashes, kill -9, and disk-full by
+construction — but only if every artifact it persists goes through a
+temp-file + ``os.replace`` rename.  A plain ``open(path, "w")`` +
+``json.dump`` (or ``path.write_text(json.dumps(...))``) can be torn
+mid-write by a crash or ENOSPC, leaving a half-written JSON file that
+the next reader sees as garbage.  The result store quarantines torn
+*cache entries*, but manifests, repro files, baselines, and reports have
+no checksum envelope; for those, atomicity at write time is the only
+defense.
+
+The rule is scoped to the packages that persist campaign state
+(``repro.harness``, ``repro.guardrails``, ``repro.fuzz``) and is
+satisfied by an atomic rename anywhere in the same function scope —
+``os.replace(tmp, path)`` or the one-argument ``Path.replace(target)``
+form.  ``str.replace(old, new)`` takes two arguments and does not
+count.  The sanctioned helpers live in :mod:`repro.common.io`.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Tuple
+
+from repro.analysis.registry import ModuleContext, Rule, register
+from repro.analysis.rules._util import dotted_name
+
+#: Packages whose JSON artifacts must survive a crash mid-write.
+PERSISTENT_PACKAGES: Tuple[str, ...] = (
+    "repro.harness",
+    "repro.guardrails",
+    "repro.fuzz",
+)
+
+
+def _scope_nodes(scope: ast.AST) -> Iterator[ast.AST]:
+    """Nodes belonging to ``scope`` itself, not to nested function scopes."""
+    stack = list(ast.iter_child_nodes(scope))
+    while stack:
+        node = stack.pop()
+        yield node
+        if not isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+        ):
+            stack.extend(ast.iter_child_nodes(node))
+
+
+def _scopes(tree: ast.Module) -> List[ast.AST]:
+    """Module scope plus every (possibly nested) function scope."""
+    out: List[ast.AST] = [tree]
+    out.extend(
+        node
+        for node in ast.walk(tree)
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+    )
+    return out
+
+
+def _is_json_dump(call: ast.Call) -> bool:
+    return (
+        isinstance(call.func, ast.Attribute)
+        and call.func.attr == "dump"
+        and dotted_name(call.func) == "json.dump"
+    )
+
+
+def _is_write_text_of_dumps(call: ast.Call) -> bool:
+    if not (
+        isinstance(call.func, ast.Attribute)
+        and call.func.attr == "write_text"
+        and call.args
+    ):
+        return False
+    for node in ast.walk(call.args[0]):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "dumps"
+            and dotted_name(node.func) == "json.dumps"
+        ):
+            return True
+    return False
+
+
+def _is_atomic_rename(call: ast.Call) -> bool:
+    """``os.replace(tmp, target)`` or one-argument ``Path.replace(target)``.
+
+    ``str.replace(old, new)`` is a two-argument method call on a
+    non-``os`` receiver and deliberately does not qualify.
+    """
+    if not (
+        isinstance(call.func, ast.Attribute) and call.func.attr == "replace"
+    ):
+        return False
+    if dotted_name(call.func) == "os.replace":
+        return True
+    return len(call.args) == 1 and not call.keywords
+
+
+@register
+class AtomicJsonWriteRule(Rule):
+    rule_id = "RPL801"
+    name = "non-atomic-json-write"
+    rationale = (
+        "a plain open+json.dump (or write_text(json.dumps(...))) can be "
+        "torn by a crash or disk-full mid-write, leaving corrupt campaign "
+        "state for the next reader; write a temp file and os.replace() it "
+        "into place (repro.common.io.atomic_write_json)"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator:
+        if not ctx.in_package(*PERSISTENT_PACKAGES):
+            return
+        for scope in _scopes(ctx.tree):
+            writes: List[Tuple[ast.Call, str]] = []
+            atomic = False
+            for node in _scope_nodes(scope):
+                if not isinstance(node, ast.Call):
+                    continue
+                if _is_json_dump(node):
+                    writes.append((node, "json.dump to an open file"))
+                elif _is_write_text_of_dumps(node):
+                    writes.append((node, "write_text(json.dumps(...))"))
+                elif _is_atomic_rename(node):
+                    atomic = True
+            if atomic:
+                continue
+            for call, kind in writes:
+                yield self.finding(
+                    ctx,
+                    call,
+                    f"{kind} without a temp-file + os.replace rename can "
+                    f"be torn by a crash mid-write; use "
+                    f"repro.common.io.atomic_write_json",
+                )

@@ -15,6 +15,10 @@ Subcommands:
   timeline (Konata-style, in text).
 * ``doctor`` — run a smoke program under every scheme with guardrails at
   ``full`` and print pass/fail per invariant class.
+* ``chaos`` — differential resilience check: run a small sweep under a
+  seeded fault plan (crashes, hangs, torn writes, disk-full, interrupts)
+  and require results bit-identical to a fault-free run with every
+  injected corruption quarantined.
 
 ``run`` and ``sweep`` accept ``--guardrails {off,cheap,full}`` to arm the
 microarchitectural invariant checker (``--dump-dir`` adds crash dumps);
@@ -94,6 +98,13 @@ def _build_parser() -> argparse.ArgumentParser:
         "--retries", type=int, default=1,
         help="retry attempts for transient worker failures "
              "(timeout/crash; default: 1)",
+    )
+    sweep.add_argument(
+        "--resume", action="store_true",
+        help="adopt the cache directory's progress ledger from an "
+             "interrupted run of the same grid: resolved results load "
+             "from the store, recorded deterministic failures replay, "
+             "only unresolved pairs re-run (requires --cache-dir)",
     )
     _add_guardrail_args(sweep)
 
@@ -194,6 +205,47 @@ def _build_parser() -> argparse.ArgumentParser:
         "--no-fuzz", action="store_true",
         help="skip the differential fuzz smoke (a few seeds × 2 schemes)",
     )
+    doctor.add_argument(
+        "--no-chaos", action="store_true",
+        help="skip the chaos smoke (a tiny sweep under injected faults)",
+    )
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="sweep-under-faults differential: seeded crashes, hangs, "
+             "torn/corrupt cache writes, disk-full, and a mid-wave "
+             "interrupt must leave results bit-identical to a fault-free "
+             "run, with every corruption quarantined (exit 0/1)",
+    )
+    chaos.add_argument("--seed", type=int, default=0)
+    chaos.add_argument(
+        "--benchmarks", default="hmmer,mcf",
+        help="comma-separated benchmark names (default: hmmer,mcf)",
+    )
+    chaos.add_argument(
+        "--schemes", default="unsafe,dom+ap",
+        help="comma-separated scheme names (default: unsafe,dom+ap)",
+    )
+    chaos.add_argument("--warmup", type=int, default=300)
+    chaos.add_argument("--measure", type=int, default=900)
+    chaos.add_argument(
+        "--jobs", type=int, default=2,
+        help="worker processes for the sweeps under test (default: 2)",
+    )
+    chaos.add_argument(
+        "--job-timeout", type=float, default=10.0,
+        help="per-job budget for the chaotic sweep — bounds how long an "
+             "injected hang can stall a wave (default: 10s)",
+    )
+    chaos.add_argument(
+        "--retries", type=int, default=2,
+        help="transient-failure retries for the chaotic sweep (default: 2)",
+    )
+    chaos.add_argument(
+        "--work-dir", default=None,
+        help="keep the reference and chaos caches here (default: a temp "
+             "dir, removed on success, kept and named on failure)",
+    )
 
     fuzz = sub.add_parser(
         "fuzz",
@@ -265,6 +317,12 @@ def _build_parser() -> argparse.ArgumentParser:
         "--replay", default=None, metavar="PATH",
         help="re-run a repro file or every entry of a failure manifest "
              "instead of fuzzing (exit 1 if anything still diverges)",
+    )
+    fuzz.add_argument(
+        "--resume", action="store_true",
+        help="replay verdicts already in the repro dir's store instead of "
+             "re-running them — an interrupted campaign continues where "
+             "it stopped",
     )
 
     lint = sub.add_parser(
@@ -344,6 +402,10 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                 return 1
     schemes = tuple(name.strip() for name in args.schemes.split(","))
 
+    if args.resume and args.cache_dir is None:
+        print("error: --resume requires --cache-dir (the ledger lives "
+              "there)", file=sys.stderr)
+        return 1
     session = ParallelSession(
         config=_guardrail_config(args),
         warmup=args.warmup,
@@ -352,6 +414,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         cache_dir=args.cache_dir,
         job_timeout=args.job_timeout,
         retries=args.retries,
+        resume=args.resume,
     )
     results = session.sweep(benchmarks, schemes, skip_errors=args.skip_errors)
     print(f"{'benchmark':<14}{'scheme':<11}{'IPC':>8}{'instructions':>14}{'cycles':>10}")
@@ -371,7 +434,24 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         f"\n{len(results)} results with {args.jobs or 'auto'} jobs: "
         f"{counters['simulated']} simulated, {counters['disk_hits']} from disk "
         f"cache, {counters['memo_hits']} memoized, {counters['skipped']} skipped"
+        + (
+            f", {counters['ledger_hits']} replayed from ledger"
+            if counters["ledger_hits"]
+            else ""
+        )
     )
+    store = session.store_counters()
+    if store.get("quarantined"):
+        print(
+            f"note: {store['quarantined']} corrupt cache entr"
+            f"{'y' if store['quarantined'] == 1 else 'ies'} quarantined "
+            f"under {session.store.quarantine_dir} and recomputed"
+        )
+    if store.get("degraded"):
+        print(
+            "warning: persistent disk errors — results for this run were "
+            "kept in memory, not the cache directory"
+        )
     if args.csv:
         from repro.harness.export import sweep_to_csv
 
@@ -495,6 +575,31 @@ def _cmd_doctor(args: argparse.Namespace) -> int:
         instructions=args.instructions,
         lint_preflight=not args.no_lint,
         fuzz_smoke=not args.no_fuzz,
+        chaos_smoke=not args.no_chaos,
+    )
+    print(report.render())
+    return 0 if report.ok else 1
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.harness.chaos import run_chaos_check
+
+    benchmarks = tuple(
+        name.strip() for name in args.benchmarks.split(",") if name.strip()
+    )
+    schemes = tuple(
+        name.strip() for name in args.schemes.split(",") if name.strip()
+    )
+    report = run_chaos_check(
+        seed=args.seed,
+        benchmarks=benchmarks,
+        schemes=schemes,
+        warmup=args.warmup,
+        measure=args.measure,
+        jobs=args.jobs,
+        job_timeout=args.job_timeout,
+        retries=args.retries,
+        work_dir=args.work_dir,
     )
     print(report.render())
     return 0 if report.ok else 1
@@ -623,6 +728,7 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         repro_dir=args.repro_dir,
         mutation=args.mutation,
         minimize_findings=not args.no_minimize,
+        resume=args.resume,
     )
     seeds = list(range(args.seed_start, args.seed_start + args.seeds))
     summary = session.run(seeds, _fuzz_profiles(args.profiles),
@@ -688,6 +794,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_trace(args)
         if args.command == "doctor":
             return _cmd_doctor(args)
+        if args.command == "chaos":
+            return _cmd_chaos(args)
         if args.command == "fuzz":
             return _cmd_fuzz(args)
         if args.command == "lint":

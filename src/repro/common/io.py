@@ -1,0 +1,71 @@
+"""Atomic file-write helpers shared by every layer that persists JSON.
+
+A process can die at any byte — kill -9, OOM, a full disk — and a plain
+``open(path, "w")`` + ``write`` leaves a truncated file behind for the
+next reader to choke on.  Every artifact the harness persists (cache
+entries, failure manifests, crash dumps, repro files, bench baselines)
+goes through the same discipline instead:
+
+1. write the full contents to a *uniquely named* temp file next to the
+   destination (same filesystem, so the rename cannot cross devices;
+   unique name, so concurrent writers never clobber each other's temp),
+2. flush + fsync so the bytes are durable before the name is,
+3. ``os.replace`` the temp onto the destination — atomic on POSIX, so a
+   reader sees either the complete old file or the complete new file,
+   never a torn one.
+
+reprolint rule RPL801 flags JSON writes in ``harness/``, ``guardrails/``
+and ``fuzz/`` that bypass this path.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+from pathlib import Path
+from typing import Any, Optional, Union
+
+PathLike = Union[str, "os.PathLike[str]"]
+
+#: Distinguishes this process's temp files from concurrent writers'
+#: (pid) and from its own earlier writes to the same path (counter).
+_tmp_counter = itertools.count()
+
+
+def atomic_write_text(path: PathLike, text: str) -> Path:
+    """Atomically replace ``path`` with ``text``; returns the path.
+
+    The parent directory is created if missing.  On any failure the temp
+    file is removed so aborted writes leave no litter behind.
+    """
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    tmp = target.with_name(
+        f"{target.name}.tmp-{os.getpid()}-{next(_tmp_counter)}"
+    )
+    try:
+        with open(tmp, "w") as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, target)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    return target
+
+
+def atomic_write_json(
+    path: PathLike,
+    payload: Any,
+    indent: Optional[int] = None,
+    sort_keys: bool = True,
+) -> Path:
+    """Atomically write ``payload`` as JSON to ``path``; returns the path."""
+    return atomic_write_text(
+        path, json.dumps(payload, indent=indent, sort_keys=sort_keys)
+    )

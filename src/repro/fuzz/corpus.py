@@ -27,6 +27,7 @@ from repro.common.config import (
     config_to_dict,
 )
 from repro.common.errors import ConfigError
+from repro.common.io import atomic_write_json
 from repro.fuzz.differential import MatrixReport, run_matrix
 from repro.isa.program import Program
 
@@ -108,12 +109,7 @@ class ReproFile:
         }
 
     def save(self, path: os.PathLike) -> Path:
-        target = Path(path)
-        target.parent.mkdir(parents=True, exist_ok=True)
-        tmp = target.with_suffix(f".tmp.{os.getpid()}")
-        tmp.write_text(json.dumps(self.to_dict(), indent=2, sort_keys=True))
-        tmp.replace(target)
-        return target
+        return atomic_write_json(path, self.to_dict(), indent=2)
 
     @classmethod
     def load(cls, path: os.PathLike) -> "ReproFile":

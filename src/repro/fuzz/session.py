@@ -25,6 +25,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.common.config import SystemConfig, config_from_dict, config_to_dict
 from repro.common.errors import ReproError
+from repro.common.io import atomic_write_json
 from repro.fuzz.corpus import ReproFile
 from repro.fuzz.differential import (
     KIND_CLEAN,
@@ -39,8 +40,10 @@ from repro.harness.jobs import JobEngine, failure_payload
 from repro.harness.parallel import (
     CACHE_FORMAT_VERSION,
     FAILURE_MANIFEST_NAME,
+    LEDGER_NAME,
     FailureRecord,
 )
+from repro.harness.store import ProgressLedger, ResultStore, campaign_id
 
 #: Default schemes a campaign crosses — the unsafe baseline plus every
 #: secure scheme, with and without address prediction for DoM.
@@ -112,6 +115,19 @@ class FuzzJob:
             mutation=spec.get("mutation"),
             minimize=spec.get("minimize", True),
         )
+
+
+def _fuzz_key(job: FuzzJob) -> Dict[str, Any]:
+    """The verdict store's key for a job: its full replayable spec, so
+    any change to seed, profile knobs, schemes, matrix, config, or
+    mutation misses by construction."""
+    return job.spec()
+
+
+def _fuzz_entry_slug(key: Dict[str, Any]) -> str:
+    """Human-readable prefix for a fuzz verdict's file name."""
+    profile = key.get("profile") or {}
+    return f"{profile.get('name', 'p')}-seed{key.get('seed')}"
 
 
 def fuzz_job_fields(job: FuzzJob) -> Dict[str, Any]:
@@ -240,6 +256,7 @@ class FuzzSummary:
     findings: List[Finding] = field(default_factory=list)
     failures: List[FailureRecord] = field(default_factory=list)
     skipped_budget: int = 0
+    store_hits: int = 0
     elapsed: float = 0.0
     manifest_path: Optional[Path] = None
 
@@ -255,6 +272,11 @@ class FuzzSummary:
             + (
                 f", {self.skipped_budget} skipped (time budget)"
                 if self.skipped_budget
+                else ""
+            )
+            + (
+                f", {self.store_hits} resumed from store"
+                if self.store_hits
                 else ""
             )
         ]
@@ -295,6 +317,8 @@ class FuzzSession:
         repro_dir: Optional[os.PathLike] = None,
         mutation: Optional[str] = None,
         minimize_findings: bool = True,
+        resume: bool = False,
+        chaos: Optional[Any] = None,
     ):
         self.config = fuzz_config(config)
         self.schemes = tuple(schemes)
@@ -307,6 +331,17 @@ class FuzzSession:
         self.repro_dir = Path(repro_dir) if repro_dir is not None else None
         self.mutation = mutation
         self.minimize_findings = minimize_findings
+        self.resume = resume
+        self.chaos = chaos
+        # Verdicts persist in a content-addressed store under the repro
+        # dir, so an interrupted campaign resumes instead of refuzzing.
+        self.store: Optional[ResultStore] = None
+        if self.repro_dir is not None:
+            self.store = ResultStore(
+                self.repro_dir / "store",
+                fs=chaos.fs if chaos is not None else None,
+                namer=_fuzz_entry_slug,
+            )
 
     # ------------------------------------------------------------------
     # Campaign
@@ -367,6 +402,7 @@ class FuzzSession:
             retry_backoff=self.retry_backoff,
             mp_context=self.mp_context,
             describe=fuzz_job_fields,
+            chaos=self.chaos,
         )
         summary = FuzzSummary()
         started = time.monotonic()
@@ -374,7 +410,26 @@ class FuzzSession:
             batch_size = max(len(jobs), 1)
         else:
             batch_size = max(1, engine.jobs) * 8
-        pending = [(job.label, job) for job in jobs]
+        # With --resume, verdicts already in the store replay without
+        # re-running the matrix; only genuinely unresolved jobs (and
+        # previous *failures*, which are infrastructure problems worth a
+        # fresh attempt) reach the pool.
+        pending: List[Tuple[FuzzJob, FuzzJob]] = []
+        for job in jobs:
+            if self.resume and self.store is not None:
+                cached = self.store.get(_fuzz_key(job))
+                if isinstance(cached, dict) and "kind" in cached:
+                    summary.store_hits += 1
+                    summary.programs += 1
+                    if cached["kind"] == KIND_CLEAN:
+                        summary.clean += 1
+                    else:
+                        summary.findings.append(
+                            self._record_finding(job.label, cached)
+                        )
+                    continue
+            pending.append((job, job))
+        ledger = self._open_ledger(jobs)
         try:
             while pending:
                 if (
@@ -384,25 +439,55 @@ class FuzzSession:
                     summary.skipped_budget = len(pending)
                     break
                 batch, pending = pending[:batch_size], pending[batch_size:]
-                engine.run(batch, self._make_store(summary))
+                engine.run(batch, self._make_store(summary, ledger))
         finally:
+            if ledger is not None:
+                ledger.close()
             summary.elapsed = time.monotonic() - started
             summary.manifest_path = self.write_manifest(summary)
         return summary
 
-    def _make_store(self, summary: FuzzSummary):
-        def store(key: str, payload: Dict[str, Any]) -> None:
+    def _open_ledger(
+        self, jobs: Sequence[FuzzJob]
+    ) -> Optional[ProgressLedger]:
+        """The campaign's progress journal (None without a repro dir)."""
+        if self.repro_dir is None:
+            return None
+        campaign = campaign_id([_fuzz_key(job) for job in jobs])
+        try:
+            return ProgressLedger(
+                self.repro_dir / LEDGER_NAME, campaign, resume=self.resume
+            )
+        except OSError:
+            return None
+
+    def _make_store(
+        self,
+        summary: FuzzSummary,
+        ledger: Optional[ProgressLedger] = None,
+    ):
+        def store(job: FuzzJob, payload: Dict[str, Any]) -> None:
             summary.programs += 1
+            if ledger is not None:
+                ledger.record(
+                    _fuzz_key(job),
+                    payload["ok"],
+                    None if payload["ok"] else payload,
+                )
             if not payload["ok"]:
                 summary.failures.append(
-                    FailureRecord.from_payload([key], payload)
+                    FailureRecord.from_payload([job.label], payload)
                 )
                 return
             result = payload["result"]
+            if self.store is not None:
+                # Verdicts — clean and findings alike — are worth keeping:
+                # a resumed campaign replays them instead of refuzzing.
+                self.store.put(_fuzz_key(job), result)
             if result["kind"] == KIND_CLEAN:
                 summary.clean += 1
                 return
-            summary.findings.append(self._record_finding(key, result))
+            summary.findings.append(self._record_finding(job.label, result))
 
         return store
 
@@ -485,12 +570,8 @@ class FuzzSession:
             record = asdict(failure)
             record["replay"] = f"python -m repro fuzz --replay {path}"
             entries.append(record)
-        path.parent.mkdir(parents=True, exist_ok=True)
         payload = {"version": CACHE_FORMAT_VERSION, "failures": entries}
-        tmp = path.with_suffix(f".tmp.{os.getpid()}")
-        tmp.write_text(json.dumps(payload, indent=2, sort_keys=True))
-        tmp.replace(path)
-        return path
+        return atomic_write_json(path, payload, indent=2)
 
 
 def replay_manifest(path: os.PathLike) -> List[Tuple[str, MatrixReport]]:

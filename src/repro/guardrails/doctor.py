@@ -118,12 +118,17 @@ class DoctorReport:
     #: "skipped" when the caller disabled it (--no-fuzz).
     fuzz_status: str = "skipped"
     fuzz_findings: int = 0
+    #: chaos smoke outcome: "clean", "N problem(s)/...", or "skipped"
+    #: when the caller disabled it (--no-chaos).
+    chaos_status: str = "skipped"
+    chaos_findings: int = 0
 
     @property
     def ok(self) -> bool:
         return (
             self.lint_findings == 0
             and self.fuzz_findings == 0
+            and self.chaos_findings == 0
             and all(row.ok for row in self.rows)
         )
 
@@ -135,6 +140,7 @@ class DoctorReport:
         lines = [
             f"static preflight (repro lint): {self.lint_status}",
             f"differential fuzz smoke: {self.fuzz_status}",
+            f"chaos smoke (repro chaos): {self.chaos_status}",
             "",
         ]
         lines += [header, "-" * len(header)]
@@ -233,12 +239,66 @@ def _fuzz_smoke() -> Tuple[str, int]:
     )
 
 
+#: Chaos smoke shape: one benchmark, two schemes, short runs — enough to
+#: drive the store/ledger/retry machinery through real faults without
+#: stretching the doctor past a few seconds.
+CHAOS_SMOKE_SEED = 7
+CHAOS_SMOKE_BENCHMARKS: Tuple[str, ...] = ("hmmer",)
+CHAOS_SMOKE_SCHEMES: Tuple[str, ...] = ("unsafe", "dom+ap")
+
+
+def _chaos_smoke() -> Tuple[str, int]:
+    """Tiny sweep-under-faults differential; ``(status_line, count)``.
+
+    Runs a two-job figure6 sweep under a seeded fault plan (crashes, torn
+    and corrupted cache writes, disk-full, a mid-wave interrupt) and
+    checks the battered run converges to results bit-identical to a
+    fault-free reference, with every injected corruption quarantined.
+    """
+    from repro.common.errors import ReproError
+    from repro.harness.chaos import run_chaos_check
+
+    try:
+        report = run_chaos_check(
+            seed=CHAOS_SMOKE_SEED,
+            benchmarks=CHAOS_SMOKE_BENCHMARKS,
+            schemes=CHAOS_SMOKE_SCHEMES,
+            warmup=200,
+            measure=600,
+            jobs=2,
+            job_timeout=10.0,
+            retries=2,
+        )
+    except ReproError as error:
+        return (f"infrastructure failure: {error}", 1)
+    if report.ok:
+        injected = sum(report.injected.values())
+        return (
+            f"clean ({report.pairs} runs, {injected} faults injected, "
+            f"{report.quarantined} quarantined, {report.resumes} "
+            f"resume(s), {report.elapsed:.1f}s)",
+            0,
+        )
+    problems = len(report.problems) or 1
+    first = (
+        report.problems[0]
+        if report.problems
+        else "results diverged from the fault-free run"
+    )
+    return (
+        f"{problems} problem(s) — run `repro chaos --seed "
+        f"{CHAOS_SMOKE_SEED}` for details (first: {first})",
+        problems,
+    )
+
+
 def run_doctor(
     schemes: Tuple[str, ...] = DOCTOR_SCHEMES,
     instructions: int = 4000,
     config: Optional[SystemConfig] = None,
     lint_preflight: bool = True,
     fuzz_smoke: bool = True,
+    chaos_smoke: bool = True,
 ) -> DoctorReport:
     """Run the smoke program under every scheme with full guardrails.
 
@@ -246,7 +306,8 @@ def run_doctor(
     (reprolint with the packaged baseline) before simulating; findings
     fail the report just like invariant violations.  ``fuzz_smoke`` adds
     a small differential fuzz pass (a few seeds, two schemes) checking
-    architectural equivalence end to end.
+    architectural equivalence end to end.  ``chaos_smoke`` runs a tiny
+    sweep under injected faults and requires bit-identical convergence.
     """
     from repro.pipeline.core import Core
     from repro.schemes import make_scheme
@@ -258,6 +319,10 @@ def run_doctor(
     fuzz_status, fuzz_findings = ("skipped", 0)
     if fuzz_smoke:
         fuzz_status, fuzz_findings = _fuzz_smoke()
+
+    chaos_status, chaos_findings = ("skipped", 0)
+    if chaos_smoke:
+        chaos_status, chaos_findings = _chaos_smoke()
 
     base = config if config is not None else small_config()
     cfg = base.with_overrides(guardrails=GuardrailConfig(level="full"))
@@ -290,4 +355,6 @@ def run_doctor(
         lint_findings=lint_findings,
         fuzz_status=fuzz_status,
         fuzz_findings=fuzz_findings,
+        chaos_status=chaos_status,
+        chaos_findings=chaos_findings,
     )

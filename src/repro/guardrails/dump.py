@@ -17,6 +17,7 @@ import json
 from pathlib import Path
 from typing import TYPE_CHECKING, Any, Dict, List, Optional
 
+from repro.common.io import atomic_write_text
 from repro.pipeline.shadows import INFINITE_SEQ
 from repro.pipeline.uop import UopState
 
@@ -235,14 +236,12 @@ def write_crash_dump(dump_dir: str, snapshot: Dict[str, Any], text: str) -> str:
     """Write ``text`` under ``dump_dir``; returns the file path.
 
     The name embeds program, scheme, and cycle so dumps from a sweep never
-    collide; writes are atomic (tmp + rename) like the result cache.
+    collide; the write goes through the shared atomic path (unique tmp +
+    fsync + rename) so concurrent sweep workers dumping the same pair
+    cannot clobber each other's temp file and a crash mid-dump can never
+    leave a truncated dump.
     """
-    directory = Path(dump_dir)
-    directory.mkdir(parents=True, exist_ok=True)
     scheme = str(snapshot["scheme"]).replace("+", "_").replace("/", "_")
     name = f"crash-{snapshot['program']}-{scheme}-cycle{snapshot['cycle']}.txt"
-    path = directory / name
-    tmp = path.with_suffix(".tmp")
-    tmp.write_text(text)
-    tmp.replace(path)
+    path = atomic_write_text(Path(dump_dir) / name, text)
     return str(path)

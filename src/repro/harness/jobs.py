@@ -34,6 +34,7 @@ from __future__ import annotations
 import math
 import multiprocessing
 import os
+import random
 import time
 from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
@@ -41,6 +42,30 @@ from typing import Any, Callable, Dict, Optional, Sequence, Tuple
 
 Payload = Dict[str, Any]
 """What a worker returns: ``{"ok": True, ...}`` or a failure payload."""
+
+
+def backoff_schedule(
+    retries: int,
+    base: float,
+    cap: float = 30.0,
+    seed: int = 0,
+) -> Tuple[float, ...]:
+    """Seeded jittered-exponential retry delays, one per retry wave.
+
+    Wave ``n`` (1-based) waits ``min(cap, base * 2**(n-1))`` scaled by a
+    jitter factor drawn uniformly from [0.5, 1.0] — decorrelating the
+    retry storms of concurrent campaigns sharing a disk or cache without
+    ever waiting *longer* than the capped exponential.  The jitter comes
+    from a string-seeded :class:`random.Random`, so a given ``seed``
+    always produces the same schedule (campaigns replay byte-for-byte)
+    and ``base=0`` always produces all-zero delays.
+    """
+    rng = random.Random(f"repro-backoff:{seed}")
+    schedule = []
+    for wave in range(1, max(0, retries) + 1):
+        raw = min(float(cap), float(base) * (2.0 ** (wave - 1)))
+        schedule.append(raw * (0.5 + 0.5 * rng.random()))
+    return tuple(schedule)
 
 
 def failure_payload(
@@ -82,13 +107,26 @@ class JobEngine:
     retries:
         Re-runs granted to each *transient* failure.
     retry_backoff:
-        Base delay before each retry wave, doubling per wave.
+        Base delay before each retry wave; waves follow the seeded
+        jittered-exponential :func:`backoff_schedule` capped at
+        ``backoff_cap``.
+    backoff_cap:
+        Ceiling on the per-wave exponential delay (before jitter).
+    backoff_seed:
+        Seed for the jitter draw, so a campaign's schedule replays.
     mp_context:
         ``multiprocessing`` start method; ``None`` is the platform default.
     describe:
         ``job -> dict`` of label fields merged into engine-generated
         timeout/crash payloads (e.g. benchmark/scheme plus a replayable
         job spec).
+    chaos:
+        Optional armed :class:`~repro.harness.chaos.ChaosEngine`.  When
+        set, every submission is routed through ``chaos.wrap`` (which may
+        substitute a fault-staging worker) and every resolution through
+        ``chaos.on_resolved`` (which may raise the injected interrupt).
+        The engine only speaks this two-method protocol — it never
+        imports the chaos module.
     """
 
     def __init__(
@@ -99,16 +137,23 @@ class JobEngine:
         job_timeout: Optional[float] = None,
         retries: int = 1,
         retry_backoff: float = 0.5,
+        backoff_cap: float = 30.0,
+        backoff_seed: int = 0,
         mp_context: Optional[str] = None,
         describe: Callable[[Any], Dict[str, Any]] = _no_fields,
+        chaos: Optional[Any] = None,
     ):
         self.worker = worker
         self.jobs = max(1, jobs if jobs is not None else os.cpu_count() or 1)
         self.job_timeout = job_timeout
         self.retries = max(0, retries)
         self.retry_backoff = max(0.0, retry_backoff)
+        self.backoff = backoff_schedule(
+            self.retries, self.retry_backoff, backoff_cap, backoff_seed
+        )
         self.mp_context = mp_context
         self.describe = describe
+        self.chaos = chaos
 
     # ------------------------------------------------------------------
     # Engine-generated payloads
@@ -156,15 +201,17 @@ class JobEngine:
                 key, _ = unresolved.pop(index)
                 payload["attempts"] = attempts[index]
                 store(key, payload)
+                if self.chaos is not None:
+                    self.chaos.on_resolved(key, payload)
             else:
                 last_transient[index] = payload
 
         for wave in range(self.retries + 1):
             if not unresolved:
                 break
-            if wave and self.retry_backoff:
-                time.sleep(self.retry_backoff * (2 ** (wave - 1)))
-            self._run_wave(dict(unresolved), resolve)
+            if wave and self.backoff[wave - 1]:
+                time.sleep(self.backoff[wave - 1])
+            self._run_wave(dict(unresolved), resolve, wave)
 
         # A wave can end without resolving everything only if it was cut
         # short (pool broke after its futures were marked transient, or a
@@ -175,10 +222,20 @@ class JobEngine:
             payload["attempts"] = max(1, attempts[index])
             store(key, payload)
 
+    def _target(
+        self, key: Any, job: Any, attempt: int, inline: bool
+    ) -> Tuple[Callable[..., Payload], Tuple[Any, ...]]:
+        """What to actually run for one submission: the worker itself, or
+        — under an armed chaos engine — whatever fault stage it wraps in."""
+        if self.chaos is None:
+            return self.worker, (job,)
+        return self.chaos.wrap(self.worker, key, job, attempt, inline=inline)
+
     def _run_wave(
         self,
         items: Dict[int, Tuple[Any, Any]],
         resolve: Callable[[int, Payload], None],
+        attempt: int,
     ) -> None:
         """One attempt at every unresolved job; calls ``resolve`` per job.
 
@@ -188,28 +245,27 @@ class JobEngine:
         broken pool every in-flight job is reported as a (transient)
         worker crash and the next wave sorts the culprit from bystanders.
         """
-        # ``worker`` must be module-level for the pool to pickle it; bind
-        # it locally so both the inline and pooled paths submit the same
-        # object.
-        worker = self.worker
         # Inline only for a serial engine with no timeout: a wall-clock
         # budget can only be enforced on a killable child process, and a
         # parallel engine must keep crash isolation even when a retry
         # wave is down to a single job — running that job in the parent
         # would let a crashing worker take the whole batch with it.
         if self.jobs == 1 and self.job_timeout is None:
-            for index, (_, job) in items.items():
-                resolve(index, worker(job))
+            for index, (key, job) in items.items():
+                target, args = self._target(key, job, attempt, inline=True)
+                resolve(index, target(*args))
             return
 
         workers = min(self.jobs, len(items))
         context = multiprocessing.get_context(self.mp_context)
         executor = ProcessPoolExecutor(max_workers=workers, mp_context=context)
         try:
-            futures: Dict[Future, int] = {
-                executor.submit(worker, job): index
-                for index, (_, job) in items.items()
-            }
+            # The worker (and any chaos stage) must be module-level for
+            # the pool to pickle it by qualified name.
+            futures: Dict[Future, int] = {}
+            for index, (key, job) in items.items():
+                target, args = self._target(key, job, attempt, inline=False)
+                futures[executor.submit(target, *args)] = index
             pending = set(futures)
             deadline = None
             if self.job_timeout is not None:

@@ -18,14 +18,20 @@ cheap twice over:
   parent reassembles results strictly in request order.
 
 * **Persistent** — with ``cache_dir`` set, every finished run is written
-  to disk keyed by a stable fingerprint of (benchmark, scheme, warmup,
-  measure, full :class:`~repro.common.config.SystemConfig`).  Re-running
-  any figure after an unrelated code change is a cache hit; changing any
-  config knob or window size misses by construction.  Cache files are
-  self-describing JSON, written atomically (tmp + rename) so concurrent
-  writers can share a directory.  **Only successful runs are ever written
-  to disk** — a failure cached as data would mask later fixes until the
-  cache directory is cleared, so failures live in the session memo only.
+  to a content-addressed :class:`~repro.harness.store.ResultStore` keyed
+  by a stable fingerprint of (benchmark, scheme, warmup, measure, full
+  :class:`~repro.common.config.SystemConfig`).  Re-running any figure
+  after an unrelated code change is a cache hit; changing any config
+  knob or window size misses by construction.  Entries are sharded,
+  checksummed, and written atomically (unique tmp + rename) so
+  concurrent writers can share a directory; corrupt entries are
+  quarantined on read and recomputed, and persistent disk errors degrade
+  the store to memory instead of killing the sweep.  **Only successful
+  runs are ever written to disk** — a failure cached as data would mask
+  later fixes until the cache directory is cleared, so failures live in
+  the session memo only.  A progress ledger (``ledger.jsonl``) journals
+  every resolution; ``resume=True`` adopts it so an interrupted campaign
+  loses at most the in-flight wave.
 
 Failure semantics (the fault-tolerance layer):
 
@@ -54,7 +60,6 @@ Failure semantics (the fault-tolerance layer):
 
 from __future__ import annotations
 
-import json
 import os
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
@@ -74,8 +79,10 @@ from repro.common.errors import (
     ReproError,
     WorkerCrashError,
 )
+from repro.common.io import atomic_write_json
 from repro.common.stats import RunResult
 from repro.harness.jobs import JobEngine, failure_payload
+from repro.harness.store import ProgressLedger, ResultStore, campaign_id
 from repro.harness.runner import (
     BASELINE_SCHEME,
     DEFAULT_MEASURE,
@@ -85,12 +92,22 @@ from repro.harness.runner import (
     run_key,
 )
 
-#: Bump when the cache file layout or the meaning of a counter changes;
-#: part of every disk key, so stale formats miss instead of mis-loading.
+#: Version of the failure-manifest layout.  (Cache entries are versioned
+#: by the store's own STORE_FORMAT_VERSION; see repro.harness.store.)
 CACHE_FORMAT_VERSION = 1
 
 #: Name of the per-cache-directory record of failed runs.
 FAILURE_MANIFEST_NAME = "failure_manifest.json"
+
+#: Name of the per-cache-directory progress ledger (see ProgressLedger).
+LEDGER_NAME = "ledger.jsonl"
+
+
+def _sweep_entry_slug(key: RunKey) -> str:
+    """Human-readable prefix for a sweep entry's file name."""
+    benchmark, scheme, warmup, measure, _digest = key
+    safe_scheme = str(scheme).replace("+", "_").replace("/", "_")
+    return f"{benchmark}-{safe_scheme}-w{warmup}-m{measure}"
 
 
 @dataclass(frozen=True)
@@ -325,6 +342,15 @@ class ParallelSession:
     mp_context:
         ``multiprocessing`` start method for the pool (``"fork"``,
         ``"spawn"``...); ``None`` uses the platform default.
+    resume:
+        Adopt the cache directory's progress ledger from an interrupted
+        campaign of the same grid: deterministic failures it recorded
+        replay without re-simulating, successes load from the store, and
+        only genuinely unresolved pairs reach the pool.
+    chaos:
+        Optional armed :class:`~repro.harness.chaos.ChaosEngine`; routes
+        store writes through its fault-injecting filesystem and worker
+        submissions through its fault stages.  Test-harness only.
     """
 
     def __init__(
@@ -338,6 +364,8 @@ class ParallelSession:
         retries: int = 1,
         retry_backoff: float = 0.5,
         mp_context: Optional[str] = None,
+        resume: bool = False,
+        chaos: Optional[Any] = None,
     ):
         self.config = config if config is not None else default_config()
         self.warmup = warmup
@@ -348,6 +376,15 @@ class ParallelSession:
         self.retries = max(0, retries)
         self.retry_backoff = max(0.0, retry_backoff)
         self.mp_context = mp_context
+        self.resume = resume
+        self.chaos = chaos
+        self.store: Optional[ResultStore] = None
+        if self.cache_dir is not None:
+            self.store = ResultStore(
+                self.cache_dir,
+                fs=chaos.fs if chaos is not None else None,
+                namer=_sweep_entry_slug,
+            )
         self._memo: Dict[RunKey, RunResult] = {}
         self._failures: Dict[RunKey, Dict[str, Any]] = {}
         self.skipped: List[SkippedRun] = []
@@ -355,6 +392,7 @@ class ParallelSession:
         self.memo_hits = 0
         self.disk_hits = 0
         self.simulated = 0
+        self.ledger_hits = 0
 
     # ------------------------------------------------------------------
     # Keys and the on-disk cache
@@ -363,44 +401,30 @@ class ParallelSession:
         return run_key(benchmark, scheme, self.warmup, self.measure, self.config)
 
     def _cache_path(self, key: RunKey) -> Optional[Path]:
-        if self.cache_dir is None:
+        if self.store is None:
             return None
-        benchmark, scheme, warmup, measure, digest = key
-        safe_scheme = scheme.replace("+", "_")
-        name = (
-            f"v{CACHE_FORMAT_VERSION}-{benchmark}-{safe_scheme}"
-            f"-w{warmup}-m{measure}-{digest[:16]}.json"
-        )
-        return self.cache_dir / name
+        return self.store.path_for(key)
 
     def _disk_load(self, key: RunKey) -> Optional[RunResult]:
-        path = self._cache_path(key)
-        if path is None or not path.exists():
+        """Load one result from the store.  Corrupt entries (torn writes,
+        checksum mismatches...) are quarantined by the store and read as
+        a miss — they are never returned and never raise."""
+        if self.store is None:
             return None
-        try:
-            payload = json.loads(path.read_text())
-        except (OSError, json.JSONDecodeError):
-            return None  # treat a torn/corrupt file as a miss
-        if payload.get("key") != list(key):
-            return None  # digest-prefix collision or stale format
+        payload = self.store.get(key)
+        if not isinstance(payload, dict):
+            return None
         if not payload.get("result"):
-            return None  # never trust a file without a real result body
+            return None  # never trust an entry without a real result body
         return RunResult.from_dict(payload["result"])
 
     def _disk_store(self, key: RunKey, result: RunResult) -> None:
-        path = self._cache_path(key)
-        if path is None:
+        if self.store is None:
             return
-        path.parent.mkdir(parents=True, exist_ok=True)
-        payload = {
-            "version": CACHE_FORMAT_VERSION,
-            "key": list(key),
-            "config": config_to_dict(self.config),
-            "result": result.to_dict(),
-        }
-        tmp = path.with_suffix(f".tmp.{os.getpid()}")
-        tmp.write_text(json.dumps(payload, sort_keys=True))
-        tmp.replace(path)  # atomic on POSIX: concurrent writers race safely
+        self.store.put(
+            key,
+            {"config": config_to_dict(self.config), "result": result.to_dict()},
+        )
 
     # ------------------------------------------------------------------
     # Running
@@ -470,11 +494,13 @@ class ParallelSession:
             (b, s) for b in benchmarks for s in schemes
         ]
         keys = [self._key(b, s) for b, s in pairs]
+        ledger = self._open_ledger(keys)
 
-        # Resolve memo/disk hits first; only cold pairs reach the pool.
-        # A pair may appear twice in a grid; dedupe while keeping order.
-        # A *transient* recorded failure does not count as resolved — the
-        # pair re-runs; only deterministic failures replay from the memo.
+        # Resolve memo/disk/ledger hits first; only cold pairs reach the
+        # pool.  A pair may appear twice in a grid; dedupe while keeping
+        # order.  A *transient* recorded failure does not count as
+        # resolved — the pair re-runs; only deterministic failures replay
+        # (from the memo, or from a resumed ledger).
         cold: List[Tuple[RunKey, SweepJob]] = []
         seen = set()
         for key, (benchmark, scheme) in zip(keys, pairs):
@@ -491,6 +517,11 @@ class ParallelSession:
                 self.disk_hits += 1
                 self._memo[key] = from_disk
                 continue
+            replayed = self._ledger_failure(ledger, key)
+            if replayed is not None:
+                self.ledger_hits += 1
+                self._failures[key] = replayed
+                continue
             seen.add(key)
             cold.append(
                 (
@@ -501,13 +532,17 @@ class ParallelSession:
                 )
             )
 
-        if cold:
-            try:
-                self._run_jobs(cold)
-            finally:
-                # Even an interrupted sweep leaves an accurate manifest
-                # for whatever resolved before the interrupt.
-                self.write_failure_manifest()
+        try:
+            if cold:
+                try:
+                    self._run_jobs(cold, ledger)
+                finally:
+                    # Even an interrupted sweep leaves an accurate manifest
+                    # for whatever resolved before the interrupt.
+                    self.write_failure_manifest()
+        finally:
+            if ledger is not None:
+                ledger.close()
 
         results: List[RunResult] = []
         for key, (benchmark, scheme) in zip(keys, pairs):
@@ -529,15 +564,60 @@ class ParallelSession:
         return results
 
     # ------------------------------------------------------------------
+    # The progress ledger (checkpoint/resume)
+    # ------------------------------------------------------------------
+    @property
+    def ledger_path(self) -> Optional[Path]:
+        if self.cache_dir is None:
+            return None
+        return self.cache_dir / LEDGER_NAME
+
+    def _open_ledger(self, keys: Sequence[RunKey]) -> Optional[ProgressLedger]:
+        """The campaign's ledger — adopting the previous run's when
+        resuming the same grid, starting fresh otherwise.  A ledger that
+        cannot be opened (read-only cache dir...) is not worth failing a
+        sweep over; the sweep just runs checkpoint-less."""
+        path = self.ledger_path
+        if path is None:
+            return None
+        try:
+            return ProgressLedger(path, campaign_id(keys), resume=self.resume)
+        except OSError:
+            return None
+
+    @staticmethod
+    def _ledger_failure(
+        ledger: Optional[ProgressLedger], key: RunKey
+    ) -> Optional[Dict[str, Any]]:
+        """A resumed ledger's *deterministic* failure for ``key``, if any.
+
+        Successes need no replay (their results load from the store);
+        transient failures re-run, same as within one session.
+        """
+        if ledger is None or not ledger.resumed:
+            return None
+        entry = ledger.get(key)
+        if entry is None or entry.get("ok", False):
+            return None
+        payload = entry.get("payload")
+        if not isinstance(payload, dict) or payload.get("transient", False):
+            return None
+        return payload
+
+    # ------------------------------------------------------------------
     # The fault-tolerant job engine
     # ------------------------------------------------------------------
-    def _run_jobs(self, cold: Sequence[Tuple[RunKey, SweepJob]]) -> None:
+    def _run_jobs(
+        self,
+        cold: Sequence[Tuple[RunKey, SweepJob]],
+        ledger: Optional[ProgressLedger] = None,
+    ) -> None:
         """Run cold jobs through the generic wave/retry engine.
 
         The engine (:class:`~repro.harness.jobs.JobEngine`) owns the
         failure semantics — bounded retry of transients, per-wave
         timeouts with worker kill, crash isolation on a broken pool —
-        and calls :meth:`_store` the moment each job resolves, so an
+        and stores + journals each job the moment it resolves, so an
         interrupt can only lose jobs still in flight.
         """
         engine = JobEngine(
@@ -548,12 +628,21 @@ class ParallelSession:
             retry_backoff=self.retry_backoff,
             mp_context=self.mp_context,
             describe=sweep_job_fields,
+            chaos=self.chaos,
         )
-        engine.run(cold, self._store_resolved)
 
-    def _store_resolved(self, key: RunKey, payload: Dict[str, Any]) -> None:
-        self.simulated += 1
-        self._store(key, payload)
+        def resolved(key: RunKey, payload: Dict[str, Any]) -> None:
+            self.simulated += 1
+            self._store(key, payload)
+            if ledger is not None:
+                # Success results live in the store; the ledger entry is
+                # the done-marker.  Failures carry their payload so a
+                # resumed run can replay deterministic ones verbatim.
+                ledger.record(
+                    key, payload["ok"], None if payload["ok"] else payload
+                )
+
+        engine.run(cold, resolved)
 
     # ------------------------------------------------------------------
     # Failure introspection
@@ -582,15 +671,11 @@ class ParallelSession:
         path = self.failure_manifest_path
         if path is None:
             return None
-        path.parent.mkdir(parents=True, exist_ok=True)
         payload = {
             "version": CACHE_FORMAT_VERSION,
             "failures": [asdict(record) for record in self.failures()],
         }
-        tmp = path.with_suffix(f".tmp.{os.getpid()}")
-        tmp.write_text(json.dumps(payload, indent=2, sort_keys=True))
-        tmp.replace(path)
-        return path
+        return atomic_write_json(path, payload, indent=2)
 
     # ------------------------------------------------------------------
     # ExperimentSession-compatible derived metrics / introspection
@@ -616,4 +701,11 @@ class ParallelSession:
             "disk_hits": self.disk_hits,
             "simulated": self.simulated,
             "skipped": len(self.skipped),
+            "ledger_hits": self.ledger_hits,
         }
+
+    def store_counters(self) -> Dict[str, Any]:
+        """The store's integrity/health counters ({} without a cache)."""
+        if self.store is None:
+            return {}
+        return self.store.counters()

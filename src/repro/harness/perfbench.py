@@ -48,6 +48,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.common.config import SystemConfig, default_config
 from repro.common.errors import ReproError
+from repro.common.io import atomic_write_text
 from repro.harness.runner import BASELINE_SCHEME, FIGURE_SCHEMES
 from repro.pipeline.core import Core
 from repro.schemes import make_scheme
@@ -278,7 +279,7 @@ def write_baseline(path: str, fragment: Dict) -> Dict:
     payload["environment"] = environment_fingerprint(
         samples=fragment.get("timing_samples", DEFAULT_SAMPLES)
     )
-    target.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    atomic_write_text(target, json.dumps(payload, indent=2, sort_keys=True) + "\n")
     return payload
 
 

@@ -32,6 +32,7 @@ import pstats
 import time
 from typing import Callable, Dict, List, Optional
 
+from repro.common.io import atomic_write_text
 from repro.harness.perfbench import (
     BenchProfile,
     bench_profiles,
@@ -267,6 +268,6 @@ def render_stage_report(report: Dict[str, object]) -> str:
 
 
 def write_report(path: str, report: Dict[str, object]) -> None:
-    with open(path, "w") as handle:
-        json.dump(report, handle, indent=2, sort_keys=True)
-        handle.write("\n")
+    atomic_write_text(
+        path, json.dumps(report, indent=2, sort_keys=True) + "\n"
+    )

@@ -1,0 +1,397 @@
+"""A content-addressed, corruption-detecting result store + progress ledger.
+
+ROADMAP item 2 promotes the sweep cache into a store that can back a
+serve mode: millions of entries, concurrent writers, and — because long
+campaigns *will* be killed, run out of disk, and tear writes — an
+integrity story that is checked on every read instead of assumed.
+
+:class:`ResultStore` addresses entries by the SHA-256 digest of their
+canonical-JSON key, sharded into 256 two-hex-digit subdirectories so no
+single directory grows unbounded.  Each entry is a versioned JSON
+envelope carrying the full key (so a digest-prefix collision reads as a
+miss, never a wrong answer) and a SHA-256 checksum of the canonical
+payload.  On read, anything that fails validation — unparseable JSON,
+wrong version, key mismatch, checksum mismatch — is **quarantined**:
+moved into ``quarantine/`` (never returned, never silently deleted) and
+counted, so a torn or corrupted entry costs one recompute instead of a
+wrong result.  Writes go through unique-temp-file + fsync + rename, so
+concurrent writers race safely and readers never observe a partial
+entry.  After :attr:`degrade_after` consecutive persistent disk errors
+(ENOSPC, EACCES, EROFS, EDQUOT) the store degrades to an in-memory dict
+— the campaign finishes with a ``degraded`` flag in its counters rather
+than dying at 90%.
+
+:class:`ProgressLedger` is the checkpoint half: an append-only JSONL
+journal, fsynced per record, that a sweep or fuzz campaign writes as
+each job resolves.  A ``--resume`` run replays it — tolerating a torn
+final line from a kill -9 — so at most the in-flight wave is recomputed.
+
+All filesystem access goes through a small injectable :class:`RealFS`
+shim so the chaos harness (:mod:`repro.harness.chaos`) can inject torn
+writes, corrupt payloads, and disk-full errors deterministically.
+"""
+
+from __future__ import annotations
+
+import errno
+import hashlib
+import itertools
+import json
+import os
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.common.io import atomic_write_json, atomic_write_text  # noqa: F401  (re-exported)
+
+#: Bump when the entry envelope layout changes; entries with any other
+#: version fail validation and are quarantined (stale formats can never
+#: be mis-loaded as current results).
+STORE_FORMAT_VERSION = 2
+
+#: Subdirectory (under the store root) where invalid entries are moved.
+QUARANTINE_DIR = "quarantine"
+
+#: Errnos that indicate a *persistent* disk problem — retrying the next
+#: write will not help, so they count toward degradation.  A transient
+#: hiccup (EINTR, EIO on one sector...) does not.
+DEGRADE_ERRNOS = frozenset(
+    {errno.ENOSPC, errno.EACCES, errno.EROFS, errno.EDQUOT}
+)
+
+
+def canonical_json(value: Any) -> str:
+    """The one serialization used for digests and checksums: sorted keys,
+    no whitespace, so logically-equal values hash identically."""
+    return json.dumps(value, sort_keys=True, separators=(",", ":"))
+
+
+def key_digest(key: Any) -> str:
+    """SHA-256 hex digest of a (JSON-able) store key."""
+    return hashlib.sha256(canonical_json(key).encode("utf-8")).hexdigest()
+
+
+def payload_checksum(payload: Any) -> str:
+    """SHA-256 hex digest of a canonical payload — the embedded integrity
+    check every read re-verifies."""
+    return hashlib.sha256(canonical_json(payload).encode("utf-8")).hexdigest()
+
+
+def campaign_id(keys: Any) -> str:
+    """Stable identity of a campaign: digest of its sorted key digests.
+
+    Two campaigns with the same job set (in any order) share an id, so a
+    ``--resume`` run can tell "same campaign, continue" from "different
+    grid, start over".
+    """
+    digests = sorted(key_digest(key) for key in keys)
+    return hashlib.sha256("\n".join(digests).encode("utf-8")).hexdigest()
+
+
+class RealFS:
+    """The store's filesystem surface, as an injectable object.
+
+    Every byte the store persists flows through these four methods, which
+    is exactly the seam the chaos harness replaces to inject torn writes,
+    corrupt payloads, and disk-full errors without patching the store.
+    """
+
+    def read_text(self, path: Path) -> str:
+        return Path(path).read_text()
+
+    def write_text(self, path: Path, text: str) -> None:
+        with open(path, "w") as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def replace(self, src: Path, dst: Path) -> None:
+        os.replace(src, dst)
+
+    def mkdir(self, path: Path) -> None:
+        Path(path).mkdir(parents=True, exist_ok=True)
+
+
+class ResultStore:
+    """Content-addressed JSON store: sharded, checksummed, self-healing.
+
+    Parameters
+    ----------
+    root:
+        Store directory (created lazily on first write).
+    fs:
+        Filesystem shim; defaults to :class:`RealFS`.  The chaos harness
+        passes a fault-injecting wrapper here.
+    namer:
+        Optional ``key -> slug`` hook prepended to entry file names so a
+        human browsing the shards sees ``hmmer-dom_ap-...`` rather than
+        bare digests.  Purely cosmetic: addressing uses the digest.
+    degrade_after:
+        Consecutive persistent disk errors (:data:`DEGRADE_ERRNOS`)
+        tolerated before the store flips to in-memory mode.
+    """
+
+    def __init__(
+        self,
+        root: os.PathLike,
+        fs: Optional[RealFS] = None,
+        namer: Optional[Callable[[Any], str]] = None,
+        degrade_after: int = 3,
+    ):
+        self.root = Path(root)
+        self.fs = fs if fs is not None else RealFS()
+        self.namer = namer
+        self.degrade_after = max(1, degrade_after)
+        # Provenance / health counters (see :meth:`counters`).
+        self.hits = 0
+        self.misses = 0
+        self.writes = 0
+        self.write_errors = 0
+        self.quarantined = 0
+        self.degraded = False
+        self.quarantine_log: List[Dict[str, str]] = []
+        self._memory: Dict[str, Any] = {}
+        self._error_streak = 0
+        self._tmp_counter = itertools.count()
+
+    # ------------------------------------------------------------------
+    # Addressing
+    # ------------------------------------------------------------------
+    def path_for(self, key: Any) -> Path:
+        """Where ``key``'s entry lives: ``root/<digest[:2]>/<name>.json``."""
+        digest = key_digest(key)
+        if self.namer is not None:
+            name = f"v{STORE_FORMAT_VERSION}-{self.namer(key)}-{digest[:16]}.json"
+        else:
+            name = f"v{STORE_FORMAT_VERSION}-{digest}.json"
+        return self.root / digest[:2] / name
+
+    @property
+    def quarantine_dir(self) -> Path:
+        return self.root / QUARANTINE_DIR
+
+    # ------------------------------------------------------------------
+    # Read path
+    # ------------------------------------------------------------------
+    def get(self, key: Any) -> Optional[Any]:
+        """The payload stored for ``key``, or ``None`` on a miss.
+
+        A corrupt entry (torn write, garbage, checksum or key mismatch,
+        stale version) is quarantined and reads as a miss — it is never
+        returned and never raises.
+        """
+        digest = key_digest(key)
+        if digest in self._memory:
+            self.hits += 1
+            return self._memory[digest]
+        path = self.path_for(key)
+        try:
+            text = self.fs.read_text(path)
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except OSError as error:
+            self._note_disk_error(error)
+            self.misses += 1
+            return None
+        payload, problem = self._validate(text, key)
+        if problem is not None:
+            self._quarantine(path, problem)
+            self.misses += 1
+            return None
+        self.hits += 1
+        return payload
+
+    def _validate(self, text: str, key: Any):
+        """``(payload, None)`` for a sound entry, ``(None, reason)`` else."""
+        try:
+            entry = json.loads(text)
+        except ValueError:
+            return None, "unparseable (torn write or garbage)"
+        if not isinstance(entry, dict):
+            return None, "not an entry envelope"
+        if entry.get("version") != STORE_FORMAT_VERSION:
+            return None, f"version {entry.get('version')!r} != {STORE_FORMAT_VERSION}"
+        normalized = json.loads(canonical_json(key))
+        if entry.get("key") != normalized:
+            return None, "key mismatch (collision or stale entry)"
+        if "payload" not in entry:
+            return None, "missing payload"
+        payload = entry["payload"]
+        if entry.get("checksum") != payload_checksum(payload):
+            return None, "checksum mismatch (corrupted payload)"
+        return payload, None
+
+    def _quarantine(self, path: Path, reason: str) -> None:
+        """Move a bad entry aside — kept for post-mortems, never re-read."""
+        self.quarantined += 1
+        self.quarantine_log.append({"path": str(path), "reason": reason})
+        try:
+            self.fs.mkdir(self.quarantine_dir)
+            self.fs.replace(path, self.quarantine_dir / path.name)
+        except OSError as error:
+            # Even if the move fails (read-only disk...), the entry was
+            # already counted and will be treated as a miss; a best-effort
+            # unlink-by-overwrite is worse than leaving it for the next
+            # quarantine attempt.
+            self._note_disk_error(error)
+
+    # ------------------------------------------------------------------
+    # Write path
+    # ------------------------------------------------------------------
+    def put(self, key: Any, payload: Any) -> bool:
+        """Persist ``payload`` under ``key``; returns True if it hit disk.
+
+        Failures never propagate: a failed write falls back to the
+        in-memory map (so the current session still sees the result) and
+        repeated persistent errors degrade the whole store to memory.
+        """
+        digest = key_digest(key)
+        if self.degraded:
+            self._memory[digest] = payload
+            return False
+        path = self.path_for(key)
+        entry = {
+            "version": STORE_FORMAT_VERSION,
+            "key": json.loads(canonical_json(key)),
+            "checksum": payload_checksum(payload),
+            "payload": payload,
+        }
+        tmp = path.with_name(
+            f"{path.name}.tmp-{os.getpid()}-{next(self._tmp_counter)}"
+        )
+        try:
+            self.fs.mkdir(path.parent)
+            self.fs.write_text(tmp, canonical_json(entry))
+            self.fs.replace(tmp, path)
+        except OSError as error:
+            self.write_errors += 1
+            self._note_disk_error(error)
+            self._memory[digest] = payload
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            return False
+        self.writes += 1
+        self._error_streak = 0
+        return True
+
+    # ------------------------------------------------------------------
+    # Health
+    # ------------------------------------------------------------------
+    def _note_disk_error(self, error: OSError) -> None:
+        if error.errno in DEGRADE_ERRNOS:
+            self._error_streak += 1
+            if self._error_streak >= self.degrade_after:
+                self.degraded = True
+
+    def counters(self) -> Dict[str, Any]:
+        """Provenance and health summary for reporting/asserting."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "writes": self.writes,
+            "write_errors": self.write_errors,
+            "quarantined": self.quarantined,
+            "degraded": self.degraded,
+            "memory_entries": len(self._memory),
+        }
+
+
+#: Bump when the ledger record layout changes; a resume against any
+#: other version starts fresh instead of misreading old records.
+LEDGER_FORMAT_VERSION = 1
+
+
+class ProgressLedger:
+    """Append-only JSONL journal of resolved jobs, for ``--resume``.
+
+    The first line is a header naming the campaign (see
+    :func:`campaign_id`); each subsequent line records one resolved job:
+    its key digest, outcome, and — for failures — the full failure
+    payload so a resumed run can replay deterministic failures without
+    re-simulating them.  Records are flushed and fsynced as written, so
+    a kill -9 loses at most a torn final line, which the resume parse
+    skips by construction (one record per line, parsed independently).
+
+    Successful results are *not* duplicated here — they live in the
+    :class:`ResultStore`; the ledger entry is just the done-marker.
+    """
+
+    def __init__(self, path: os.PathLike, campaign: str, resume: bool = False):
+        self.path = Path(path)
+        self.campaign = campaign
+        self.entries: Dict[str, Dict[str, Any]] = {}
+        self.resumed = False
+        if resume:
+            self._load()
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._handle = open(self.path, "a" if self.resumed else "w")
+        if not self.resumed:
+            self._append(
+                {
+                    "kind": "header",
+                    "version": LEDGER_FORMAT_VERSION,
+                    "campaign": self.campaign,
+                }
+            )
+
+    def _load(self) -> None:
+        """Adopt an existing ledger if it belongs to this campaign."""
+        try:
+            lines = self.path.read_text().splitlines()
+        except OSError:
+            return
+        if not lines:
+            return
+        try:
+            header = json.loads(lines[0])
+        except ValueError:
+            return
+        if (
+            not isinstance(header, dict)
+            or header.get("kind") != "header"
+            or header.get("version") != LEDGER_FORMAT_VERSION
+            or header.get("campaign") != self.campaign
+        ):
+            return
+        for line in lines[1:]:
+            try:
+                record = json.loads(line)
+            except ValueError:
+                continue  # torn final line from a kill -9 mid-append
+            if isinstance(record, dict) and record.get("kind") == "resolved":
+                digest = record.get("digest")
+                if digest:
+                    self.entries[digest] = record
+        self.resumed = True
+
+    def record(self, key: Any, ok: bool, payload: Optional[Any] = None) -> None:
+        """Journal one resolved job the moment it resolves."""
+        entry: Dict[str, Any] = {
+            "kind": "resolved",
+            "digest": key_digest(key),
+            "key": json.loads(canonical_json(key)),
+            "ok": bool(ok),
+        }
+        if payload is not None:
+            entry["payload"] = payload
+        self.entries[entry["digest"]] = entry
+        self._append(entry)
+
+    def get(self, key: Any) -> Optional[Dict[str, Any]]:
+        return self.entries.get(key_digest(key))
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def _append(self, record: Dict[str, Any]) -> None:
+        self._handle.write(json.dumps(record, sort_keys=True) + "\n")
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+
+    def close(self) -> None:
+        try:
+            self._handle.close()
+        except OSError:
+            pass

@@ -554,3 +554,111 @@ class TestRPL602UnregisteredStat:
         )
         assert rule_ids(report) == ["RPL602"]
         assert "committed_instructionz" in report.findings[0].message
+
+
+class TestRPL801NonAtomicJsonWrite:
+    def test_fires_on_open_plus_json_dump(self, lint_fixture):
+        report = lint_fixture(
+            "repro/harness/manifest.py",
+            """
+            import json
+
+            def write(path, payload):
+                with open(path, "w") as handle:
+                    json.dump(payload, handle)
+            """,
+            select=["RPL801"],
+        )
+        assert rule_ids(report) == ["RPL801"]
+        assert "atomic_write_json" in report.findings[0].message
+
+    def test_fires_on_write_text_of_dumps(self, lint_fixture):
+        report = lint_fixture(
+            "repro/fuzz/repro_files.py",
+            """
+            import json
+
+            def save(path, payload):
+                path.write_text(json.dumps(payload, indent=2))
+            """,
+            select=["RPL801"],
+        )
+        assert rule_ids(report) == ["RPL801"]
+
+    def test_clean_with_temp_and_os_replace(self, lint_fixture):
+        report = lint_fixture(
+            "repro/guardrails/dumps.py",
+            """
+            import json
+            import os
+
+            def write(path, payload):
+                tmp = str(path) + ".tmp"
+                with open(tmp, "w") as handle:
+                    json.dump(payload, handle)
+                os.replace(tmp, path)
+            """,
+            select=["RPL801"],
+        )
+        assert report.ok
+
+    def test_clean_with_path_replace(self, lint_fixture):
+        report = lint_fixture(
+            "repro/harness/manifest.py",
+            """
+            import json
+
+            def write(path, tmp, payload):
+                tmp.write_text(json.dumps(payload))
+                tmp.replace(path)
+            """,
+            select=["RPL801"],
+        )
+        assert report.ok
+
+    def test_str_replace_is_not_an_exemption(self, lint_fixture):
+        report = lint_fixture(
+            "repro/harness/manifest.py",
+            """
+            import json
+
+            def write(path, payload):
+                name = str(path).replace(".json", ".out")
+                with open(name, "w") as handle:
+                    json.dump(payload, handle)
+            """,
+            select=["RPL801"],
+        )
+        assert rule_ids(report) == ["RPL801"]
+
+    def test_scoped_to_persistent_packages(self, lint_fixture):
+        report = lint_fixture(
+            "repro/analysis/export.py",
+            """
+            import json
+
+            def write(path, payload):
+                with open(path, "w") as handle:
+                    json.dump(payload, handle)
+            """,
+            select=["RPL801"],
+        )
+        assert report.ok
+
+    def test_rename_in_another_function_does_not_excuse(self, lint_fixture):
+        report = lint_fixture(
+            "repro/harness/manifest.py",
+            """
+            import json
+            import os
+
+            def atomic(path, tmp):
+                os.replace(tmp, path)
+
+            def sloppy(path, payload):
+                with open(path, "w") as handle:
+                    json.dump(payload, handle)
+            """,
+            select=["RPL801"],
+        )
+        assert rule_ids(report) == ["RPL801"]

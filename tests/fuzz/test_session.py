@@ -120,3 +120,65 @@ class TestSession:
         ((label, report),) = replayed
         assert label == "fuzz/default/seed0"
         assert report.kind == KIND_ARCH
+
+
+class TestResume:
+    def test_interrupted_campaign_resumes_from_store(self, tmp_path):
+        """A campaign killed mid-flight resumes without re-running the
+        matrix for already-resolved programs (store hit counters)."""
+        import pytest
+
+        from repro.harness.chaos import ChaosEngine, ChaosInterrupt, FaultPlan
+
+        chaos = ChaosEngine(FaultPlan(seed=0, interrupt_after=2))
+        first = FuzzSession(
+            schemes=SMOKE_SCHEMES,
+            matrix="schemes",
+            jobs=1,
+            repro_dir=tmp_path,
+            chaos=chaos,
+        )
+        with pytest.raises(ChaosInterrupt):
+            first.run([0, 1, 2, 3], resolve_profiles(("default",)))
+
+        resumed = FuzzSession(
+            schemes=SMOKE_SCHEMES,
+            matrix="schemes",
+            jobs=1,
+            repro_dir=tmp_path,
+            resume=True,
+        )
+        summary = resumed.run([0, 1, 2, 3], resolve_profiles(("default",)))
+        assert summary.ok
+        assert summary.programs == 4
+        assert summary.store_hits == 2  # resolved before the kill
+        assert resumed.store.counters()["hits"] == 2
+        assert "resumed from store" in summary.render()
+
+    def test_findings_are_replayed_on_resume(self, tmp_path):
+        """Persisted verdicts include findings: a resumed campaign reports
+        them again without re-running the matrix."""
+        first = FuzzSession(
+            schemes=SMOKE_SCHEMES,
+            matrix="schemes",
+            jobs=1,
+            repro_dir=tmp_path,
+            mutation="commit-bitflip",
+            minimize_findings=False,
+        )
+        summary = first.run([0], resolve_profiles(("default",)))
+        assert len(summary.findings) == 1
+
+        resumed = FuzzSession(
+            schemes=SMOKE_SCHEMES,
+            matrix="schemes",
+            jobs=1,
+            repro_dir=tmp_path,
+            mutation="commit-bitflip",
+            minimize_findings=False,
+            resume=True,
+        )
+        replay = resumed.run([0], resolve_profiles(("default",)))
+        assert replay.store_hits == 1
+        assert len(replay.findings) == 1
+        assert replay.findings[0].kind == summary.findings[0].kind

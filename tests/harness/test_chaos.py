@@ -1,0 +1,203 @@
+"""Chaos harness contracts: deterministic plans, injected write faults,
+kill-and-resume, and the sweep-under-faults differential.
+
+The acceptance bar from the resilience PR: a sweep battered by crashes,
+torn writes, corrupted payloads, disk-full, and a mid-wave kill must
+converge to results **bit-identical** to a fault-free run, with every
+injected corruption quarantined — and a resumed campaign must not
+recompute jobs that already resolved (verified by store hit counters).
+"""
+
+import pytest
+
+from repro.common.stats import RunResult, SimStats
+from repro.harness import parallel
+from repro.harness.chaos import (
+    ChaosEngine,
+    ChaosFS,
+    ChaosInterrupt,
+    FaultPlan,
+    run_chaos_check,
+)
+from repro.harness.parallel import ParallelSession
+from repro.harness.store import key_digest
+
+BENCHMARKS = ("mcf", "hmmer")
+SCHEMES = ("unsafe", "dom")
+
+
+def fake_result(benchmark, scheme):
+    stats = SimStats()
+    stats.committed_instructions = 1000
+    stats.cycles = 2000
+    return RunResult(benchmark=benchmark, scheme=scheme, stats=stats, metadata={})
+
+
+def fake_run_benchmark(benchmark, scheme, config=None, warmup=0, measure=0):
+    return fake_result(benchmark, scheme)
+
+
+def make_session(tmp_path, **kwargs):
+    kwargs.setdefault("jobs", 1)
+    kwargs.setdefault("warmup", 10)
+    kwargs.setdefault("measure", 10)
+    kwargs.setdefault("cache_dir", tmp_path)
+    kwargs.setdefault("retry_backoff", 0.01)
+    return ParallelSession(**kwargs)
+
+
+class TestFaultPlan:
+    def test_decisions_are_deterministic(self):
+        plan = FaultPlan.chaotic(seed=3)
+        digest = key_digest({"benchmark": "mcf"})
+        assert plan.worker_fault(digest, 0) == plan.worker_fault(digest, 0)
+        assert plan.write_fault("entry.json", 0) == plan.write_fault(
+            "entry.json", 0
+        )
+
+    def test_seed_changes_the_schedule(self):
+        digests = [key_digest({"job": index}) for index in range(64)]
+        a = [FaultPlan.chaotic(seed=0).worker_fault(d, 0) for d in digests]
+        b = [FaultPlan.chaotic(seed=1).worker_fault(d, 0) for d in digests]
+        assert a != b
+
+    def test_faults_stop_after_fault_attempts(self):
+        """Retry attempts run fault-free, so every faulted job converges."""
+        plan = FaultPlan(seed=0, crash=1.0, torn_write=1.0)
+        digest = key_digest({"benchmark": "mcf"})
+        assert plan.worker_fault(digest, 0) == "crash"
+        assert plan.worker_fault(digest, 1) is None
+        assert plan.write_fault("entry.json", 0) == "torn_write"
+        assert plan.write_fault("entry.json", 1) is None
+
+    def test_interrupt_is_a_keyboard_interrupt(self):
+        """Chaos must unwind through the same paths a real Ctrl-C does."""
+        assert issubclass(ChaosInterrupt, KeyboardInterrupt)
+
+
+class TestChaosFS:
+    def test_torn_write_is_counted_and_truncated(self, tmp_path):
+        fs = ChaosFS(FaultPlan(seed=0, torn_write=1.0))
+        target = tmp_path / "entry.json"
+        fs.write_text(target, '{"payload": {"x": 1}}' * 10)
+        assert fs.corrupt_writes == 1
+        assert len(target.read_text()) < 220
+
+    def test_second_write_goes_through_clean(self, tmp_path):
+        fs = ChaosFS(FaultPlan(seed=0, torn_write=1.0))
+        target = tmp_path / "entry.json"
+        fs.write_text(target, "first")
+        fs.write_text(target, "second")
+        assert target.read_text() == "second"
+
+    def test_temp_suffix_maps_to_the_same_entry(self, tmp_path):
+        fs = ChaosFS(FaultPlan(seed=0, torn_write=1.0))
+        fs.write_text(tmp_path / "entry.json.tmp-123-0", "x" * 30)
+        fs.write_text(tmp_path / "entry.json.tmp-123-1", "clean write")
+        assert fs.corrupt_writes == 1
+
+    def test_disk_full_raises_enospc(self, tmp_path):
+        import errno
+
+        fs = ChaosFS(FaultPlan(seed=0, disk_full=1.0))
+        with pytest.raises(OSError) as excinfo:
+            fs.write_text(tmp_path / "entry.json", "doomed")
+        assert excinfo.value.errno == errno.ENOSPC
+
+
+class TestKillAndResume:
+    def test_interrupted_sweep_resumes_without_recompute(
+        self, tmp_path, monkeypatch
+    ):
+        """Acceptance: kill mid-campaign, resume, and the resolved jobs
+        come back from the store — simulated exactly once overall."""
+        monkeypatch.setattr(parallel, "run_benchmark", fake_run_benchmark)
+        chaos = ChaosEngine(FaultPlan(seed=0, interrupt_after=2))
+        first = make_session(tmp_path, chaos=chaos)
+        with pytest.raises(ChaosInterrupt):
+            first.sweep(BENCHMARKS, SCHEMES)
+        assert first.simulated == 2  # the interrupt landed after 2 stores
+
+        resumed = make_session(tmp_path, resume=True)
+        results = resumed.sweep(BENCHMARKS, SCHEMES)
+        assert len(results) == 4
+        assert resumed.simulated == 2  # only the unresolved half
+        assert resumed.disk_hits == 2
+        assert resumed.store_counters()["hits"] == 2
+
+    def test_resume_replays_deterministic_failures_from_ledger(
+        self, tmp_path, monkeypatch
+    ):
+        """A deterministic failure journaled before the kill is replayed
+        on resume instead of being re-simulated."""
+        from repro.common.errors import EmptyMeasurementError
+
+        def broken(benchmark, scheme, config=None, warmup=0, measure=0):
+            if benchmark == "hmmer":
+                raise EmptyMeasurementError(
+                    "too short", benchmark=benchmark, scheme=scheme
+                )
+            return fake_result(benchmark, scheme)
+
+        monkeypatch.setattr(parallel, "run_benchmark", broken)
+        first = make_session(tmp_path)
+        first.sweep(BENCHMARKS, SCHEMES, skip_errors=True)
+        assert len(first.skipped) == 2
+
+        resumed = make_session(tmp_path, resume=True)
+        resumed.sweep(BENCHMARKS, SCHEMES, skip_errors=True)
+        assert resumed.simulated == 0
+        assert resumed.counters()["ledger_hits"] == 2
+        assert len(resumed.skipped) == 2
+
+
+class TestChaosDifferential:
+    def test_battered_sweep_is_bit_identical(self, tmp_path, monkeypatch):
+        """The tentpole check: every write fault plus a mid-wave kill, and
+        the final grid still equals the fault-free reference exactly."""
+        monkeypatch.setattr(parallel, "run_benchmark", fake_run_benchmark)
+        plan = FaultPlan(
+            seed=11,
+            crash=0.3,
+            slow=0.0,
+            torn_write=0.4,
+            corrupt_write=0.4,
+            disk_full=0.2,
+            interrupt_after=2,
+        )
+        report = run_chaos_check(
+            seed=11,
+            benchmarks=BENCHMARKS,
+            schemes=SCHEMES,
+            warmup=10,
+            measure=10,
+            jobs=2,
+            plan=plan,
+            work_dir=tmp_path,
+            job_timeout=15.0,
+            retries=2,
+            mp_context="fork",
+        )
+        assert report.identical, report.render()
+        assert report.ok, report.render()
+        assert report.pairs == 4
+        # Every injected corruption was caught, quarantined, recomputed.
+        assert report.quarantined >= report.corrupt_writes
+        # The verify pass read the battered store, not a lucky recompute.
+        assert report.verify_disk_hits + report.verify_simulated == 4
+
+    def test_report_renders(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(parallel, "run_benchmark", fake_run_benchmark)
+        report = run_chaos_check(
+            seed=0,
+            benchmarks=("mcf",),
+            schemes=("unsafe",),
+            warmup=10,
+            measure=10,
+            jobs=1,
+            plan=FaultPlan(seed=0),  # no faults: trivial convergence
+            work_dir=tmp_path,
+        )
+        text = report.render()
+        assert "bit-identical" in text
+        assert "OK" in text

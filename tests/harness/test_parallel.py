@@ -103,7 +103,9 @@ class TestDiskCache:
             warmup=WARMUP, measure=MEASURE, jobs=1, cache_dir=tmp_path
         )
         session.run("hmmer", "unsafe")
-        for path in tmp_path.iterdir():
+        entries = list(tmp_path.rglob("v2-*.json"))
+        assert len(entries) == 1
+        for path in entries:
             path.write_text("{ torn write")
         fresh = ParallelSession(
             warmup=WARMUP, measure=MEASURE, jobs=1, cache_dir=tmp_path
@@ -111,6 +113,9 @@ class TestDiskCache:
         result = fresh.run("hmmer", "unsafe")
         assert fresh.simulated == 1
         assert result.stats.committed_instructions > 0
+        # The torn entry was quarantined, not silently dropped.
+        assert fresh.store.counters()["quarantined"] == 1
+        assert list((tmp_path / "quarantine").iterdir())
 
     def test_no_cache_dir_still_memoizes(self):
         session = ParallelSession(warmup=WARMUP, measure=MEASURE, jobs=1)

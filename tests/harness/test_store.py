@@ -1,0 +1,250 @@
+"""Result-store and progress-ledger contracts.
+
+The load-bearing promise: a corrupt cache entry — torn write, garbage,
+flipped payload bytes, stale format — is *quarantined and recomputed*,
+never raised and never silently returned; and a campaign killed
+mid-flight resumes from its ledger without recomputing resolved jobs.
+"""
+
+import errno
+import json
+
+import pytest
+
+from repro.harness.store import (
+    ProgressLedger,
+    RealFS,
+    ResultStore,
+    STORE_FORMAT_VERSION,
+    campaign_id,
+    canonical_json,
+    key_digest,
+    payload_checksum,
+)
+
+KEY = {"benchmark": "hmmer", "scheme": "dom+ap", "warmup": 300}
+PAYLOAD = {"result": {"ipc": 1.25}, "config": {"rob": 192}}
+
+
+def put_one(tmp_path, key=KEY, payload=PAYLOAD):
+    store = ResultStore(tmp_path)
+    assert store.put(key, payload)
+    return store
+
+
+class TestAddressing:
+    def test_round_trip(self, tmp_path):
+        store = put_one(tmp_path)
+        assert store.get(KEY) == PAYLOAD
+        assert store.counters()["hits"] == 1
+
+    def test_sharded_layout_and_versioned_name(self, tmp_path):
+        store = put_one(tmp_path)
+        path = store.path_for(KEY)
+        assert path.exists()
+        assert path.parent.name == key_digest(KEY)[:2]
+        assert path.name.startswith(f"v{STORE_FORMAT_VERSION}-")
+
+    def test_namer_is_cosmetic(self, tmp_path):
+        named = ResultStore(tmp_path, namer=lambda key: key["benchmark"])
+        named.put(KEY, PAYLOAD)
+        assert "hmmer" in named.path_for(KEY).name
+        assert named.get(KEY) == PAYLOAD
+
+    def test_logically_equal_keys_share_an_entry(self, tmp_path):
+        store = put_one(tmp_path)
+        reordered = dict(reversed(list(KEY.items())))
+        assert store.get(reordered) == PAYLOAD
+
+    def test_miss_is_none(self, tmp_path):
+        store = ResultStore(tmp_path)
+        assert store.get({"other": 1}) is None
+        assert store.counters()["misses"] == 1
+
+
+class TestQuarantine:
+    """Satellite: truncated, garbage, and checksum-mismatched entries are
+    quarantined and recomputed — not raised, not silently returned."""
+
+    def corrupt_and_reread(self, tmp_path, mangle):
+        store = put_one(tmp_path)
+        path = store.path_for(KEY)
+        mangle(path)
+        fresh = ResultStore(tmp_path)
+        value = fresh.get(KEY)
+        return fresh, value, path
+
+    def assert_quarantined(self, store, value, path):
+        assert value is None  # corrupt entry is a miss, never an answer
+        assert store.counters()["quarantined"] == 1
+        assert not path.exists()
+        assert (store.quarantine_dir / path.name).exists()
+        # A recompute writes a fresh entry that reads clean again.
+        assert store.put(KEY, PAYLOAD)
+        assert store.get(KEY) == PAYLOAD
+
+    def test_truncated_entry(self, tmp_path):
+        def mangle(path):
+            path.write_text(path.read_text()[: len(path.read_text()) // 3])
+
+        self.assert_quarantined(*self.corrupt_and_reread(tmp_path, mangle))
+
+    def test_garbage_entry(self, tmp_path):
+        def mangle(path):
+            path.write_text("not json at all \x00\xff")
+
+        self.assert_quarantined(*self.corrupt_and_reread(tmp_path, mangle))
+
+    def test_checksum_mismatch(self, tmp_path):
+        def mangle(path):
+            entry = json.loads(path.read_text())
+            entry["payload"]["result"]["ipc"] = 9.99  # flip payload bytes
+            path.write_text(json.dumps(entry))
+
+        self.assert_quarantined(*self.corrupt_and_reread(tmp_path, mangle))
+
+    def test_stale_format_version(self, tmp_path):
+        def mangle(path):
+            entry = json.loads(path.read_text())
+            entry["version"] = STORE_FORMAT_VERSION - 1
+            path.write_text(json.dumps(entry))
+
+        self.assert_quarantined(*self.corrupt_and_reread(tmp_path, mangle))
+
+    def test_key_mismatch_reads_as_miss(self, tmp_path):
+        def mangle(path):
+            entry = json.loads(path.read_text())
+            entry["key"] = {"benchmark": "mcf"}
+            entry["checksum"] = payload_checksum(entry["payload"])
+            path.write_text(json.dumps(entry))
+
+        fresh, value, path = self.corrupt_and_reread(tmp_path, mangle)
+        assert value is None
+        assert fresh.counters()["quarantined"] == 1
+
+    def test_quarantine_reason_is_logged(self, tmp_path):
+        store = put_one(tmp_path)
+        store.path_for(KEY).write_text("{ torn")
+        fresh = ResultStore(tmp_path)
+        fresh.get(KEY)
+        assert "torn" in fresh.quarantine_log[0]["reason"]
+
+
+class FailingFS(RealFS):
+    """Every write fails with a persistent-disk errno."""
+
+    def __init__(self, error=errno.ENOSPC):
+        self.error = error
+
+    def write_text(self, path, text):
+        raise OSError(self.error, "disk full")  # repro: noqa[RPL301] - simulating the OS-level error under test
+
+
+class TestDegradation:
+    def test_degrades_to_memory_after_persistent_errors(self, tmp_path):
+        store = ResultStore(tmp_path, fs=FailingFS(), degrade_after=3)
+        for index in range(4):
+            assert store.put({"job": index}, {"n": index}) is False
+        counters = store.counters()
+        assert counters["degraded"] is True
+        assert counters["write_errors"] >= 3
+        # Every result is still readable for the current session.
+        for index in range(4):
+            assert store.get({"job": index}) == {"n": index}
+
+    def test_degraded_flag_stays_off_for_healthy_store(self, tmp_path):
+        store = put_one(tmp_path)
+        assert store.counters()["degraded"] is False
+
+    def test_write_failure_never_propagates(self, tmp_path):
+        store = ResultStore(tmp_path, fs=FailingFS(errno.EACCES))
+        assert store.put(KEY, PAYLOAD) is False  # no raise
+        assert store.get(KEY) == PAYLOAD
+
+
+class TestAtomicity:
+    def test_no_temp_files_left_behind(self, tmp_path):
+        store = ResultStore(tmp_path)
+        for index in range(8):
+            store.put({"job": index}, {"n": index})
+        leftovers = [p for p in tmp_path.rglob("*") if ".tmp-" in p.name]
+        assert leftovers == []
+
+    def test_concurrent_style_writers_agree(self, tmp_path):
+        a = ResultStore(tmp_path)
+        b = ResultStore(tmp_path)
+        a.put(KEY, PAYLOAD)
+        b.put(KEY, PAYLOAD)
+        assert ResultStore(tmp_path).get(KEY) == PAYLOAD
+
+
+class TestCampaignId:
+    def test_order_independent(self):
+        keys = [{"job": index} for index in range(5)]
+        assert campaign_id(keys) == campaign_id(list(reversed(keys)))
+
+    def test_different_grids_differ(self):
+        assert campaign_id([{"job": 1}]) != campaign_id([{"job": 2}])
+
+    def test_canonical_json_is_stable(self):
+        assert canonical_json({"b": 1, "a": 2}) == '{"a":2,"b":1}'
+
+
+class TestProgressLedger:
+    def keys(self, count=4):
+        return [{"job": index} for index in range(count)]
+
+    def test_resume_replays_resolved_jobs(self, tmp_path):
+        keys = self.keys()
+        campaign = campaign_id(keys)
+        path = tmp_path / "ledger.jsonl"
+        first = ProgressLedger(path, campaign)
+        first.record(keys[0], ok=True)
+        first.record(keys[1], ok=False, payload={"error_type": "Boom"})
+        first.close()
+
+        resumed = ProgressLedger(path, campaign, resume=True)
+        assert resumed.resumed
+        assert len(resumed) == 2
+        assert resumed.get(keys[0])["ok"] is True
+        assert resumed.get(keys[1])["payload"]["error_type"] == "Boom"
+        assert resumed.get(keys[2]) is None
+
+    def test_torn_final_line_is_skipped(self, tmp_path):
+        keys = self.keys()
+        campaign = campaign_id(keys)
+        path = tmp_path / "ledger.jsonl"
+        ledger = ProgressLedger(path, campaign)
+        ledger.record(keys[0], ok=True)
+        ledger.record(keys[1], ok=True)
+        ledger.close()
+        # kill -9 mid-append: the last line is half a record.
+        text = path.read_text()
+        path.write_text(text[: len(text) - 20])
+
+        resumed = ProgressLedger(path, campaign, resume=True)
+        assert resumed.resumed
+        assert len(resumed) == 1  # the torn record is simply lost
+        assert resumed.get(keys[0]) is not None
+
+    def test_campaign_mismatch_starts_fresh(self, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        old = ProgressLedger(path, campaign_id(self.keys(2)))
+        old.record(self.keys(2)[0], ok=True)
+        old.close()
+
+        fresh = ProgressLedger(path, campaign_id(self.keys(3)), resume=True)
+        assert not fresh.resumed
+        assert len(fresh) == 0
+
+    def test_non_resume_truncates(self, tmp_path):
+        keys = self.keys(2)
+        campaign = campaign_id(keys)
+        path = tmp_path / "ledger.jsonl"
+        old = ProgressLedger(path, campaign)
+        old.record(keys[0], ok=True)
+        old.close()
+        fresh = ProgressLedger(path, campaign)  # resume not requested
+        fresh.close()
+        again = ProgressLedger(path, campaign, resume=True)
+        assert len(again) == 0
