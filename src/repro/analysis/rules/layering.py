@@ -51,6 +51,13 @@ CONTRACTS: Tuple[LayerContract, ...] = (
         why="the memory hierarchy sits below the core; code that drives a "
         "core against memory belongs in the harness",
     ),
+    LayerContract(
+        scope="repro.schemes",
+        forbidden="repro.analysis",
+        why="schemes declare their specflow policy as a plain string "
+        "(specflow_policy) precisely so the policy layer never depends on "
+        "the analyzer; the analyzer resolves the string on its side",
+    ),
     *(
         LayerContract(
             scope=scope,

@@ -1,0 +1,115 @@
+"""Specflow policy metadata rule (RPL901).
+
+The static leakage analyzer (:mod:`repro.analysis.specflow`) models each
+scheme with a declarative :class:`~repro.analysis.specflow.policies.PolicyModel`
+resolved from the scheme's ``specflow_policy`` string.  A scheme class
+that forgets to declare one silently inherits its parent's policy — and
+a *wrong* inherited policy is exactly how a static analyzer becomes
+unsound (it would promise ``safe`` using the defenses of a different
+scheme).  This rule makes the declaration a checked contract: every
+scheme class must carry its own ``specflow_policy`` (a literal string
+naming a known policy key) or an explicit ``specflow_opt_out``
+acknowledging it is not modeled.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.analysis.registry import ModuleContext, Rule, register
+
+#: Where scheme classes live.  ``repro.attacks.variants`` holds the
+#: deliberately-weakened DoM variants used by the leakage evaluation.
+SCHEME_SCOPES = ("repro.schemes", "repro.attacks.variants")
+
+
+def _class_assign(node: ast.ClassDef, attr: str) -> Optional[ast.stmt]:
+    """The class-level statement assigning ``attr``, if any."""
+    for stmt in node.body:
+        if isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name) and target.id == attr:
+                    return stmt
+        elif isinstance(stmt, ast.AnnAssign):
+            if isinstance(stmt.target, ast.Name) and stmt.target.id == attr:
+                return stmt
+    return None
+
+
+def _assigned_value(stmt: ast.stmt) -> Optional[ast.expr]:
+    if isinstance(stmt, ast.Assign):
+        return stmt.value
+    if isinstance(stmt, ast.AnnAssign):
+        return stmt.value
+    return None
+
+
+def _is_scheme_class(node: ast.ClassDef) -> bool:
+    """A scheme class is one declaring a literal ``name`` string.
+
+    Every policy class in the scheme scopes identifies itself this way
+    (it is how ``make_scheme`` and the result store key runs), so it is
+    the stable marker — keying on base-class names would miss indirect
+    subclasses defined against an aliased import.
+    """
+    stmt = _class_assign(node, "name")
+    if stmt is None:
+        return False
+    value = _assigned_value(stmt)
+    return isinstance(value, ast.Constant) and isinstance(value.value, str)
+
+
+@register
+class SpecflowPolicyDeclaredRule(Rule):
+    rule_id = "RPL901"
+    name = "specflow-policy-declared"
+    rationale = (
+        "a scheme class without its own specflow_policy inherits its "
+        "parent's leakage model, and a wrong inherited model is how the "
+        "static analyzer ends up certifying an undefended scheme as safe; "
+        "every scheme must declare a known policy key or explicitly opt "
+        "out of static analysis"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator:
+        if not ctx.in_package(*SCHEME_SCOPES):
+            return
+        from repro.analysis.specflow.policies import POLICY_KEYS
+
+        for node in ctx.tree.body:
+            if not isinstance(node, ast.ClassDef):
+                continue
+            if not _is_scheme_class(node):
+                continue
+            if _class_assign(node, "specflow_opt_out") is not None:
+                continue
+            policy_stmt = _class_assign(node, "specflow_policy")
+            if policy_stmt is None:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"scheme class '{node.name}' declares neither "
+                    f"'specflow_policy' nor 'specflow_opt_out'; the static "
+                    f"leakage analyzer would silently use an inherited "
+                    f"policy (known keys: {', '.join(POLICY_KEYS)})",
+                )
+                continue
+            value = _assigned_value(policy_stmt)
+            if not (isinstance(value, ast.Constant) and isinstance(value.value, str)):
+                yield self.finding(
+                    ctx,
+                    policy_stmt,
+                    f"scheme class '{node.name}' must assign "
+                    f"'specflow_policy' a literal string so the policy is "
+                    f"auditable without executing the module",
+                )
+                continue
+            if value.value not in POLICY_KEYS:
+                yield self.finding(
+                    ctx,
+                    policy_stmt,
+                    f"scheme class '{node.name}' declares unknown specflow "
+                    f"policy {value.value!r}; known keys: "
+                    f"{', '.join(POLICY_KEYS)}",
+                )

@@ -1,0 +1,48 @@
+"""specflow: static speculative-leakage analysis over micro-ISA programs.
+
+The dynamic side of this repository can only *observe* a leak: run a
+gadget under the simulator, vary the secret, compare attacker-visible
+state.  specflow predicts the same verdicts statically:
+
+1. :mod:`~repro.analysis.specflow.cfg` builds a control-flow graph and
+   derives **speculation windows** — for each conditional branch, the set
+   of instructions that can execute transiently in its shadow;
+2. :mod:`~repro.analysis.specflow.dataflow` runs a forward taint
+   dataflow seeded from the program's declared ``secret_regions``
+   (lattice per value: public / secret / speculatively-secret), through
+   registers, load addresses, store values and memory;
+3. :mod:`~repro.analysis.specflow.policies` describes, declaratively,
+   what each scheme blocks (NDA/STT's taint gates, DoM's invisible
+   speculation, DoM+AP's in-order branches), and classifies the
+   discovered transmitters into per-scheme verdicts: ``leak-possible``,
+   ``safe``, or ``unknown``.
+
+The verdicts are *sound by construction against the dynamic oracle*:
+:mod:`~repro.analysis.specflow.differential` runs both judges over the
+attack corpus and fuzz-generated gadgets and requires static
+``leak-possible`` ⊇ dynamic observed-leak and static ``safe`` ⇒
+dynamically clean (``unknown`` is the explicit escape hatch).
+"""
+
+from repro.analysis.specflow.analyzer import analyze_program
+from repro.analysis.specflow.model import (
+    VERDICT_LEAK,
+    VERDICT_SAFE,
+    VERDICT_UNKNOWN,
+    LeakFinding,
+    ProgramReport,
+    SchemeVerdict,
+)
+from repro.analysis.specflow.policies import PolicyModel, policy_for
+
+__all__ = [
+    "LeakFinding",
+    "PolicyModel",
+    "ProgramReport",
+    "SchemeVerdict",
+    "VERDICT_LEAK",
+    "VERDICT_SAFE",
+    "VERDICT_UNKNOWN",
+    "analyze_program",
+    "policy_for",
+]

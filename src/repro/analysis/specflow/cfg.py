@@ -1,0 +1,70 @@
+"""Control-flow graph and speculation windows over a static program.
+
+The CFG is per-instruction (programs are small; basic blocks would buy
+nothing but bookkeeping).  A **speculation window** is the static
+over-approximation of a conditional branch's shadow: every pc reachable
+from *either* successor.  Reachability deliberately crosses loop back
+edges — a shadow really can span them (the branch at the bottom of a
+loop shadows the next iteration until it resolves) — which is the
+conservative direction: a too-large window can only add transmitters,
+never hide one.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Tuple
+
+from repro.isa.instructions import KIND_CBRANCH, KIND_HALT, KIND_JMP
+from repro.isa.program import Program
+
+
+def successors(program: Program) -> List[Tuple[int, ...]]:
+    """Per-pc successor tuple.  Falling off the end is an exit (the
+    interpreter defines pc == len as a clean stop), so such edges are
+    simply absent."""
+    length = len(program.instructions)
+    table: List[Tuple[int, ...]] = []
+    for pc, inst in enumerate(program.instructions):
+        kind = inst.kind
+        if kind == KIND_HALT:
+            table.append(())
+        elif kind == KIND_JMP:
+            table.append((inst.imm,) if inst.imm < length else ())
+        elif kind == KIND_CBRANCH:
+            succ = []
+            if inst.imm < length:
+                succ.append(inst.imm)
+            if pc + 1 < length:
+                succ.append(pc + 1)
+            table.append(tuple(succ))
+        else:
+            table.append((pc + 1,) if pc + 1 < length else ())
+    return table
+
+
+def reachable(succ: List[Tuple[int, ...]], *starts: int) -> FrozenSet[int]:
+    """Every pc reachable from the given start pcs (inclusive)."""
+    seen = set()
+    stack = [pc for pc in starts if 0 <= pc < len(succ)]
+    while stack:
+        pc = stack.pop()
+        if pc in seen:
+            continue
+        seen.add(pc)
+        stack.extend(s for s in succ[pc] if s not in seen)
+    return frozenset(seen)
+
+
+def speculation_windows(program: Program) -> Dict[int, FrozenSet[int]]:
+    """``{branch_pc: window}`` for every conditional branch.
+
+    The window unions reachability from both successors because the
+    transient path is whichever successor the predictor *wrongly* chose —
+    statically, either one.
+    """
+    succ = successors(program)
+    windows: Dict[int, FrozenSet[int]] = {}
+    for pc, inst in enumerate(program.instructions):
+        if inst.kind == KIND_CBRANCH:
+            windows[pc] = reachable(succ, *succ[pc])
+    return windows

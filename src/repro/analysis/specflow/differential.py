@@ -1,0 +1,288 @@
+"""Static-vs-dynamic differential: the soundness harness for specflow.
+
+A static analyzer that is wrong is worse than none, so specflow's
+verdicts are continuously cross-examined against the dynamic
+noninterference oracle over two program populations:
+
+* the **attack corpus** (:mod:`repro.attacks.corpus`), where every
+  (gadget, scheme) cell additionally has a *pinned* expected verdict on
+  both sides — any drift in either judge fails loudly;
+* **fuzz-generated secret gadgets** (:mod:`repro.fuzz.secretgen`),
+  where no expectations exist and only the soundness inclusion is
+  enforced.
+
+The inclusion both populations must satisfy:
+
+    static ``safe``  ⇒  dynamically clean
+    (equivalently: dynamic leak ⇒ static ``leak-possible``)
+
+``unknown`` satisfies it vacuously (it claims nothing) and is counted so
+a lazy analyzer that answers ``unknown`` everywhere is visible.  The
+reverse direction is *not* required — the static judge is allowed to be
+conservative (flag a cell whose dynamic race happens to be lost); on the
+corpus those conservative cells are pinned explicitly, with notes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.attacks.corpus import (
+    ATTACK_CORPUS,
+    CORPUS_SCHEME_LABELS,
+    CorpusEntry,
+    DYNAMIC_CLEAN,
+    DYNAMIC_LEAK,
+    corpus_entry,
+    scheme_factory,
+)
+from repro.common.config import SystemConfig
+from repro.fuzz.secretgen import generate_secret_case
+from repro.oracle import attack_config, noninterference_check, snapshots_equal
+from repro.analysis.specflow.analyzer import analyze_program
+from repro.analysis.specflow.model import (
+    ProgramReport,
+    VERDICT_LEAK,
+    VERDICT_SAFE,
+    VERDICT_UNKNOWN,
+)
+
+KIND_UNSOUND = "static-safe-dynamic-leak"
+"""The fatal kind: the analyzer promised safety and the simulator leaked."""
+KIND_STATIC_MISMATCH = "static-expectation-mismatch"
+"""A corpus cell's static verdict drifted from the pinned expectation."""
+KIND_DYNAMIC_MISMATCH = "dynamic-expectation-mismatch"
+"""A corpus cell's dynamic verdict drifted from the pinned expectation."""
+
+
+@dataclass
+class Disagreement:
+    """One (program, scheme) cell where the judges (or the pins) fell out."""
+
+    program: str
+    scheme: str
+    kind: str
+    static_verdict: str
+    dynamic_verdict: str = ""
+    expected: str = ""
+    detail: str = ""
+
+    def render(self) -> str:
+        parts = [
+            f"{self.kind}: {self.program} x {self.scheme}: "
+            f"static={self.static_verdict}"
+        ]
+        if self.dynamic_verdict:
+            parts.append(f"dynamic={self.dynamic_verdict}")
+        if self.expected:
+            parts.append(f"expected={self.expected}")
+        line = " ".join(parts)
+        if self.detail:
+            line += f" ({self.detail})"
+        return line
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "program": self.program,
+            "scheme": self.scheme,
+            "kind": self.kind,
+            "static_verdict": self.static_verdict,
+            "dynamic_verdict": self.dynamic_verdict,
+            "expected": self.expected,
+            "detail": self.detail,
+        }
+
+
+@dataclass
+class DifferentialReport:
+    """Outcome of one differential run (corpus and/or fuzz)."""
+
+    corpus_cells: int = 0
+    fuzz_cells: int = 0
+    fuzz_seeds: Tuple[int, ...] = ()
+    unknown_cells: int = 0
+    disagreements: List[Disagreement] = field(default_factory=list)
+    static_reports: List[ProgramReport] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.disagreements
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "ok": self.ok,
+            "corpus_cells": self.corpus_cells,
+            "fuzz_cells": self.fuzz_cells,
+            "fuzz_seeds": list(self.fuzz_seeds),
+            "unknown_cells": self.unknown_cells,
+            "disagreements": [d.to_dict() for d in self.disagreements],
+            "programs": [report.to_dict() for report in self.static_reports],
+        }
+
+
+def dynamic_verdict(
+    build,
+    label: str,
+    secrets: Sequence[int],
+    config: Optional[SystemConfig] = None,
+) -> str:
+    """Run the noninterference oracle for one (gadget, scheme) cell."""
+    snapshots = noninterference_check(
+        build, scheme_factory(label), secrets, config or attack_config()
+    )
+    return DYNAMIC_CLEAN if snapshots_equal(snapshots) else DYNAMIC_LEAK
+
+
+def _statically_safe(verdict: str) -> bool:
+    return verdict == VERDICT_SAFE
+
+
+def check_entry(
+    entry: CorpusEntry,
+    schemes: Sequence[str],
+    static_only: bool = False,
+    config: Optional[SystemConfig] = None,
+) -> Tuple[ProgramReport, int, List[Disagreement]]:
+    """Judge one corpus entry; returns (static report, unknown-cell
+    count, disagreements)."""
+    config = config or attack_config()
+    program = entry.build(entry.secrets[0]).program
+    report = analyze_program(program, schemes)
+    problems: List[Disagreement] = []
+    unknown = 0
+    for label in schemes:
+        static = report.verdict(label)
+        if static == VERDICT_UNKNOWN:
+            unknown += 1
+        expected_static = entry.expected_static.get(label)
+        if expected_static is not None and static != expected_static:
+            problems.append(
+                Disagreement(
+                    program=entry.name,
+                    scheme=label,
+                    kind=KIND_STATIC_MISMATCH,
+                    static_verdict=static,
+                    expected=expected_static,
+                    detail=report.verdicts[label].reason,
+                )
+            )
+        if static_only:
+            continue
+        dynamic = dynamic_verdict(entry.build, label, entry.secrets, config)
+        expected_dynamic = entry.expected_dynamic.get(label)
+        if expected_dynamic is not None and dynamic != expected_dynamic:
+            problems.append(
+                Disagreement(
+                    program=entry.name,
+                    scheme=label,
+                    kind=KIND_DYNAMIC_MISMATCH,
+                    static_verdict=static,
+                    dynamic_verdict=dynamic,
+                    expected=expected_dynamic,
+                )
+            )
+        if _statically_safe(static) and dynamic == DYNAMIC_LEAK:
+            problems.append(
+                Disagreement(
+                    program=entry.name,
+                    scheme=label,
+                    kind=KIND_UNSOUND,
+                    static_verdict=static,
+                    dynamic_verdict=dynamic,
+                    detail="the analyzer promised safety; the simulator "
+                    "produced secret-distinguishable observable state",
+                )
+            )
+    return report, unknown, problems
+
+
+def check_fuzz_seed(
+    seed: int,
+    schemes: Sequence[str],
+    config: Optional[SystemConfig] = None,
+) -> Tuple[ProgramReport, int, List[Disagreement]]:
+    """Judge one generated case: soundness inclusion only (no pins)."""
+    config = config or attack_config()
+    case = generate_secret_case(seed)
+    program = case.build(case.secrets[0]).program
+    report = analyze_program(program, schemes)
+    problems: List[Disagreement] = []
+    unknown = 0
+    for label in schemes:
+        static = report.verdict(label)
+        if static == VERDICT_UNKNOWN:
+            unknown += 1
+            continue
+        if static == VERDICT_LEAK:
+            # Conservative direction; nothing to refute dynamically.
+            continue
+        dynamic = dynamic_verdict(case.build, label, case.secrets, config)
+        if dynamic == DYNAMIC_LEAK:
+            problems.append(
+                Disagreement(
+                    program=case.name,
+                    scheme=label,
+                    kind=KIND_UNSOUND,
+                    static_verdict=static,
+                    dynamic_verdict=dynamic,
+                    detail=f"template={case.template} seed={seed} "
+                    f"secrets={case.secrets}",
+                )
+            )
+    return report, unknown, problems
+
+
+def run_differential(
+    fuzz_seeds: int = 10,
+    seed_start: int = 0,
+    schemes: Optional[Sequence[str]] = None,
+    gadgets: Optional[Sequence[str]] = None,
+    static_only: bool = False,
+    config: Optional[SystemConfig] = None,
+) -> DifferentialReport:
+    """The full differential: corpus (pinned) + ``fuzz_seeds`` generated
+    cases (soundness-only).  ``gadgets`` restricts the corpus portion;
+    ``static_only`` skips every simulator run (corpus static pins still
+    checked)."""
+    labels = list(schemes) if schemes is not None else list(CORPUS_SCHEME_LABELS)
+    config = config or attack_config()
+    report = DifferentialReport()
+    entries = (
+        [corpus_entry(name) for name in gadgets]
+        if gadgets is not None
+        else list(ATTACK_CORPUS)
+    )
+    for entry in entries:
+        static_report, unknown, problems = check_entry(
+            entry, labels, static_only=static_only, config=config
+        )
+        report.corpus_cells += len(labels)
+        report.unknown_cells += unknown
+        report.disagreements.extend(problems)
+        report.static_reports.append(static_report)
+    seeds = tuple(range(seed_start, seed_start + max(0, fuzz_seeds)))
+    if not static_only:
+        for seed in seeds:
+            static_report, unknown, problems = check_fuzz_seed(
+                seed, labels, config=config
+            )
+            report.fuzz_cells += len(labels)
+            report.unknown_cells += unknown
+            report.disagreements.extend(problems)
+            report.static_reports.append(static_report)
+        report.fuzz_seeds = seeds
+    return report
+
+
+__all__ = [
+    "Disagreement",
+    "DifferentialReport",
+    "KIND_DYNAMIC_MISMATCH",
+    "KIND_STATIC_MISMATCH",
+    "KIND_UNSOUND",
+    "check_entry",
+    "check_fuzz_seed",
+    "dynamic_verdict",
+    "run_differential",
+]

@@ -1,0 +1,159 @@
+"""Verdict vocabulary and report shapes for the specflow analyzer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+VERDICT_LEAK = "leak-possible"
+"""Some transmitter of secret-derived data survives the scheme's gates."""
+
+VERDICT_SAFE = "safe"
+"""No transmitter survives; soundness requires the dynamic run be clean."""
+
+VERDICT_UNKNOWN = "unknown"
+"""The analyzer ran out of budget; no claim either way (the escape hatch
+that keeps ``safe`` a real promise)."""
+
+#: Taint-fact kinds: how the secret was acquired relative to a window.
+KIND_ARCH = "arch"
+"""Acquired architecturally (global pass): a must-read of a secret region
+or a concretely witnessed secret access."""
+KIND_PRE = "pre"
+"""Pre-acquired relative to a window: the fact already held when the
+window-opening branch entered the pipeline — NDA/STT do *not* protect
+these (their gates only cover speculatively acquired data)."""
+KIND_SPEC = "spec"
+"""Speculatively acquired inside the window: the source load itself runs
+in the shadow, so taint-gating schemes squash the transmitter."""
+
+
+@dataclass(frozen=True)
+class TaintFact:
+    """One way secret data reaches a value: source load + acquisition kind."""
+
+    source_pc: int
+    kind: str
+    path: Tuple[int, ...] = ()
+    """Def-use chain (pc sequence) from the source toward the consumer;
+    best-effort (capped, loop-deduplicated) but always starts at
+    ``source_pc``."""
+
+
+@dataclass(frozen=True)
+class Transmitter:
+    """An instruction that turns tainted data into observable behaviour."""
+
+    pc: int
+    kind: str
+    """``load`` / ``store`` (tainted address — explicit channel) or
+    ``branch`` (tainted predicate — resolution-based implicit channel)."""
+    window_pc: int
+    """The conditional branch whose speculation window contains ``pc``."""
+    facts: Tuple[TaintFact, ...]
+
+
+@dataclass
+class LeakFinding:
+    """One concrete instruction-level leak path for one scheme."""
+
+    transmitter_pc: int
+    transmitter_kind: str
+    transmitter_text: str
+    window_pc: int
+    window_text: str
+    facts: List[TaintFact] = field(default_factory=list)
+    note: str = ""
+
+    def render(self) -> List[str]:
+        lines = [
+            f"{self.transmitter_kind} transmitter @pc{self.transmitter_pc}: "
+            f"{self.transmitter_text}"
+        ]
+        if self.window_pc >= 0:
+            lines.append(
+                f"  in speculation window of branch @pc{self.window_pc}: "
+                f"{self.window_text}"
+            )
+        for fact in self.facts:
+            how = {
+                KIND_ARCH: "architectural secret read",
+                KIND_PRE: "secret acquired before the window",
+                KIND_SPEC: "secret acquired speculatively in the window",
+            }.get(fact.kind, fact.kind)
+            chain = " -> ".join(f"pc{pc}" for pc in fact.path) or f"pc{fact.source_pc}"
+            lines.append(f"  source load @pc{fact.source_pc} ({how}) via {chain}")
+        if self.note:
+            lines.append(f"  note: {self.note}")
+        return lines
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "transmitter_pc": self.transmitter_pc,
+            "transmitter_kind": self.transmitter_kind,
+            "transmitter_text": self.transmitter_text,
+            "window_pc": self.window_pc,
+            "window_text": self.window_text,
+            "facts": [
+                {
+                    "source_pc": fact.source_pc,
+                    "kind": fact.kind,
+                    "path": list(fact.path),
+                }
+                for fact in self.facts
+            ],
+            "note": self.note,
+        }
+
+
+@dataclass
+class SchemeVerdict:
+    """specflow's claim for one (program, scheme) pair."""
+
+    scheme: str
+    policy: str
+    verdict: str
+    leaks: List[LeakFinding] = field(default_factory=list)
+    reason: str = ""
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "scheme": self.scheme,
+            "policy": self.policy,
+            "verdict": self.verdict,
+            "reason": self.reason,
+            "leaks": [leak.to_dict() for leak in self.leaks],
+        }
+
+
+@dataclass
+class ProgramReport:
+    """Full static analysis of one program across the requested schemes."""
+
+    program_name: str
+    secret_regions: Tuple[Tuple[int, int], ...]
+    verdicts: Dict[str, SchemeVerdict]
+    windows: int = 0
+    transmitters: int = 0
+    arch_channel: Optional[str] = None
+    """Set when the two-image interpretation diverged architecturally —
+    every scheme then gets ``leak-possible`` (no speculation scheme
+    protects an architectural channel)."""
+    unknown_reason: Optional[str] = None
+
+    def verdict(self, scheme: str) -> str:
+        return self.verdicts[scheme].verdict
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "program": self.program_name,
+            "secret_regions": [list(region) for region in self.secret_regions],
+            "windows": self.windows,
+            "transmitters": self.transmitters,
+            "arch_channel": self.arch_channel,
+            "unknown_reason": self.unknown_reason,
+            "verdicts": {
+                scheme: verdict.to_dict()
+                for scheme, verdict in sorted(self.verdicts.items())
+            },
+        }

@@ -93,6 +93,7 @@ def spectre_v1(
         builder.set_memory(ARRAY1_BASE + 8 * i, 0)
     secret_address = ARRAY1_BASE + 8 * oob_index
     builder.set_memory(secret_address, secret_value)
+    builder.mark_secret(secret_address)
     for round_index in range(training_rounds):
         builder.set_memory(IDX_BASE + 8 * round_index, 0)
     builder.set_memory(IDX_BASE + 8 * training_rounds, oob_index)
@@ -128,12 +129,17 @@ def spectre_v1(
     # transient window is not wasted on the attacker's own cold misses.
     warm = [secret_address, SIZE_ADDR]
     warm.extend(IDX_BASE + 8 * r for r in range(0, total_rounds, 8))
+    # Observing every probe line makes the gadget usable with the generic
+    # noninterference oracle too (not just the receiver-style run_attack):
+    # the probe line of the secret value is resident iff the run leaked.
+    observed = tuple(PROBE_BASE + PROBE_LINE_STRIDE * v for v in range(16))
     return Gadget(
         program=builder.build(name="spectre_v1"),
         secret_value=secret_value,
         secret_address=secret_address,
         training_values=(0,),
         warm_addresses=tuple(warm),
+        observed_addresses=observed,
         notes="universal read gadget; leak = probe line of the secret value",
     )
 
@@ -159,6 +165,7 @@ def dom_implicit_channel(
     builder = CodeBuilder()
     builder.set_memory(SIZE_ADDR, ARRAY1_SIZE_WORDS)
     builder.set_memory(SECRET_CELL, secret_value)
+    builder.mark_secret(SECRET_CELL)
     builder.set_memory(SECRET_X_ADDR, 1111)
     builder.set_memory(SECRET_Y_ADDR, 2222)
     for round_index in range(training_rounds):

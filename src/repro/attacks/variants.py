@@ -23,6 +23,7 @@ class InsecureDoMAPWithoutInOrderBranches(DelayOnMiss):
     """
 
     name = "dom-insecure-branches"
+    specflow_policy = "dom-insecure-branches"
 
     def branch_block_seq(self, branch: MicroOp, operand_taint: int) -> int:
         return READY
@@ -38,6 +39,7 @@ class InsecureDoMAPEagerMispredictReissue(DelayOnMiss):
     """
 
     name = "dom-insecure-reissue"
+    specflow_policy = "dom-insecure-reissue"
 
     def load_block_seq(self, load: MicroOp) -> int:
         if load.dom_delayed and self.shadows.is_speculative(load.seq):

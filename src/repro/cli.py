@@ -19,6 +19,10 @@ Subcommands:
   seeded fault plan (crashes, hangs, torn writes, disk-full, interrupts)
   and require results bit-identical to a fault-free run with every
   injected corruption quarantined.
+* ``specflow`` — static speculative-leakage analysis over the attack
+  corpus and fuzz-generated secret gadgets, cross-checked against the
+  dynamic noninterference oracle (static ``safe`` must be dynamically
+  clean).
 
 ``run`` and ``sweep`` accept ``--guardrails {off,cheap,full}`` to arm the
 microarchitectural invariant checker (``--dump-dir`` adds crash dumps);
@@ -209,6 +213,11 @@ def _build_parser() -> argparse.ArgumentParser:
         "--no-chaos", action="store_true",
         help="skip the chaos smoke (a tiny sweep under injected faults)",
     )
+    doctor.add_argument(
+        "--no-specflow", action="store_true",
+        help="skip the specflow smoke (static-vs-dynamic differential "
+             "over a corpus cut)",
+    )
 
     chaos = sub.add_parser(
         "chaos",
@@ -333,6 +342,17 @@ def _build_parser() -> argparse.ArgumentParser:
     from repro.analysis.cli import add_lint_arguments
 
     add_lint_arguments(lint)
+
+    specflow = sub.add_parser(
+        "specflow",
+        help="static speculative-leakage analysis cross-checked against "
+             "the dynamic noninterference oracle over the attack corpus "
+             "and fuzz-generated gadgets (exit 0 agree, 1 disagreements, "
+             "2 usage error)",
+    )
+    from repro.analysis.specflow.cli import add_specflow_arguments
+
+    add_specflow_arguments(specflow)
     return parser
 
 
@@ -576,6 +596,7 @@ def _cmd_doctor(args: argparse.Namespace) -> int:
         lint_preflight=not args.no_lint,
         fuzz_smoke=not args.no_fuzz,
         chaos_smoke=not args.no_chaos,
+        specflow_smoke=not args.no_specflow,
     )
     print(report.render())
     return 0 if report.ok else 1
@@ -746,6 +767,12 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return run_lint(args)
 
 
+def _cmd_specflow(args: argparse.Namespace) -> int:
+    from repro.analysis.specflow.cli import run_specflow
+
+    return run_specflow(args)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     try:
@@ -802,6 +829,9 @@ def main(argv: Optional[List[str]] = None) -> int:
             # Lint handles its own errors: findings are exit 1, misuse
             # (LintUsageError) exit 2 — distinct from ReproError below.
             return _cmd_lint(args)
+        if args.command == "specflow":
+            # Same contract as lint: disagreements exit 1, misuse exit 2.
+            return _cmd_specflow(args)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1

@@ -115,6 +115,21 @@ class LintError(ReproError):
     baseline, syntax error in the tree under analysis)."""
 
 
+class SpecflowBudgetError(ReproError):
+    """The static leakage analyzer exceeded its work budget.
+
+    specflow's speculation-window passes are quadratic in the worst case;
+    rather than stall, the analyzer aborts and reports ``unknown`` — the
+    verdict that makes no soundness claim — for every scheme.
+    """
+
+
+class SpecflowUsageError(ReproError):
+    """``repro specflow`` was invoked incorrectly (unknown gadget or
+    scheme name).  The CLI maps this to exit code 2, mirroring
+    ``repro lint``'s misuse / findings / clean distinction."""
+
+
 class LintUsageError(LintError):
     """reprolint was invoked incorrectly (unknown rule id, missing path).
 

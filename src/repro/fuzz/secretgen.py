@@ -1,0 +1,272 @@
+"""Seeded secret-bearing gadget generator for the static/dynamic differential.
+
+:mod:`repro.fuzz.generator` produces random programs for the
+*architectural* differential (every scheme must commit the same state).
+This module produces random programs for the *security* differential:
+each case declares ``secret_regions`` and attacker-observable lines, so
+both the static analyzer (``repro.analysis.specflow``) and the dynamic
+noninterference oracle (:func:`repro.oracle.noninterference_check`) can
+judge it — and their verdicts can be cross-checked for soundness
+(static ``safe`` must imply dynamically clean).
+
+Five templates, chosen by ``seed % 5`` and then parameterized by a
+deterministic per-seed RNG:
+
+* ``benign`` — a secret is declared but no instruction can reach it
+  (every load address is a constant outside the regions).  Exercises the
+  vacuous-taint path: static ``safe`` everywhere, dynamically clean.
+* ``arch_transmit`` — the program architecturally indexes a probe array
+  with the secret.  Exercises the precheck: static ``leak-possible``
+  for every scheme (no speculation scheme defends an architectural
+  channel), dynamically leaking everywhere.
+* ``mini_spectre`` — :func:`repro.attacks.gadgets.spectre_v1` with
+  seed-chosen secret, training length, and out-of-bounds index.
+* ``fig4`` — :func:`repro.attacks.gadgets.dom_implicit_channel` with a
+  seed-chosen secret pair and 4a/4b flavour.  The builder's tuned
+  dynamics (training phases, stride layout) are reused as-is; the seed
+  only selects data.
+* ``transient_read_only`` — a Spectre window that *reads* the secret
+  but never transmits it (the tainted value dies in a register).
+  Exercises precision where it matters: NDA/STT/DoM are statically
+  ``safe`` despite the transient secret read.  The unprotected baseline
+  stays conservatively flagged — the window's unconstrained index load
+  is itself a may-secret read feeding a branch — and the dynamic run is
+  clean everywhere, which the soundness inclusion permits.
+
+The templates bias toward *safe-but-nontrivial* programs on purpose:
+the differential's sharpest check is "static said safe, dynamics must be
+clean", so safe cases are where an unsound analyzer gets caught.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Tuple
+
+from repro.attacks.gadgets import (
+    ARRAY1_SIZE_WORDS,
+    Gadget,
+    PROBE_BASE,
+    SIZE_ADDR,
+    dom_implicit_channel,
+    spectre_v1,
+)
+from repro.attacks.observer import PROBE_LINE_STRIDE
+from repro.isa.builder import CodeBuilder
+
+#: Address bases private to generated cases (disjoint from the gadget
+#: layout in :mod:`repro.attacks.gadgets` and the fuzz generator's
+#: DATA/OUT arrays).
+SECRET_BASE = 0x0020_0000
+SCRATCH_BASE = 0x0024_0000
+OUT_BASE = 0x0028_0000
+
+TEMPLATES = (
+    "benign",
+    "arch_transmit",
+    "mini_spectre",
+    "fig4",
+    "transient_read_only",
+)
+
+
+@dataclass(frozen=True)
+class SecretFuzzCase:
+    """One generated security-differential case."""
+
+    name: str
+    template: str
+    seed: int
+    secrets: Tuple[int, int]
+    build: Callable[[int], Gadget]
+
+
+def _case_rng(seed: int) -> random.Random:
+    # String-seeded for cross-process determinism (same convention as
+    # repro.fuzz.generator.generation_rng).
+    return random.Random(f"secretgen:{seed}")
+
+
+def _probe_lines() -> Tuple[int, ...]:
+    return tuple(PROBE_BASE + PROBE_LINE_STRIDE * v for v in range(16))
+
+
+def _benign(rng: random.Random, name: str) -> Callable[[int], Gadget]:
+    """Secret declared, never reachable: all load addresses constant."""
+    rounds = rng.randrange(4, 12)
+    values = [rng.getrandbits(32) for _ in range(4)]
+
+    def build(secret: int) -> Gadget:
+        b = CodeBuilder()
+        b.set_memory(SECRET_BASE, secret)
+        b.mark_secret(SECRET_BASE)
+        for i, value in enumerate(values):
+            b.set_memory(SCRATCH_BASE + 8 * i, value)
+        b.li(14, 0)
+        b.li(15, rounds)
+        b.li(10, SCRATCH_BASE)
+        b.li(28, OUT_BASE)
+        b.label("round")
+        b.load(2, 10)
+        b.load(3, 10, disp=8)
+        b.add(4, 2, 3)
+        b.xori(4, 4, 0x5A)
+        b.store(4, 28)
+        b.addi(14, 14, 1)
+        b.blt(14, 15, "round")
+        b.halt()
+        return Gadget(
+            program=b.build(name=name),
+            secret_address=SECRET_BASE,
+            warm_addresses=(SCRATCH_BASE,),
+            observed_addresses=_probe_lines(),
+            notes="secret unreachable; must be safe and clean everywhere",
+        )
+
+    return build
+
+
+def _arch_transmit(rng: random.Random, name: str) -> Callable[[int], Gadget]:
+    """The program architecturally touches probe[secret * 64]."""
+    extra_shift = rng.choice((0, 0, 3))
+
+    def build(secret: int) -> Gadget:
+        b = CodeBuilder()
+        b.set_memory(SECRET_BASE, secret)
+        b.mark_secret(SECRET_BASE)
+        b.li(10, SECRET_BASE)
+        b.li(11, PROBE_BASE)
+        b.load(1, 10)                      # the secret, architecturally
+        if extra_shift:
+            b.shli(1, 1, extra_shift)
+            b.shri(1, 1, extra_shift)
+        b.shli(2, 1, 6)                    # one probe line per value
+        b.add(3, 11, 2)
+        b.load(4, 3)                       # probe[secret * 64]
+        b.store(4, 0, disp=OUT_BASE)
+        b.halt()
+        return Gadget(
+            program=b.build(name=name),
+            secret_address=SECRET_BASE,
+            observed_addresses=_probe_lines(),
+            notes="architectural channel; every scheme must flag and leak",
+        )
+
+    return build
+
+
+def _mini_spectre(rng: random.Random, name: str) -> Callable[[int], Gadget]:
+    training_rounds = rng.randrange(10, 21)
+    oob_index = rng.randrange(ARRAY1_SIZE_WORDS + 1, 97)
+
+    def build(secret: int) -> Gadget:
+        gadget = spectre_v1(
+            secret_value=secret,
+            training_rounds=training_rounds,
+            oob_index=oob_index,
+        )
+        gadget.program.name = name
+        return gadget
+
+    return build
+
+
+def _fig4(rng: random.Random, name: str) -> Callable[[int], Gadget]:
+    register_secret = rng.random() < 0.5
+
+    def build(secret: int) -> Gadget:
+        gadget = dom_implicit_channel(secret, register_secret=register_secret)
+        gadget.program.name = name
+        return gadget
+
+    return build
+
+
+def _transient_read_only(rng: random.Random, name: str) -> Callable[[int], Gadget]:
+    """A Spectre window that reads the secret but never transmits it."""
+    training_rounds = rng.randrange(8, 17)
+    oob_index = rng.randrange(ARRAY1_SIZE_WORDS + 1, 65)
+
+    def build(secret: int) -> Gadget:
+        b = CodeBuilder()
+        b.set_memory(SIZE_ADDR, ARRAY1_SIZE_WORDS)
+        array_base = SCRATCH_BASE
+        for i in range(ARRAY1_SIZE_WORDS):
+            b.set_memory(array_base + 8 * i, 0)
+        secret_address = array_base + 8 * oob_index
+        b.set_memory(secret_address, secret)
+        b.mark_secret(secret_address)
+        idx_base = OUT_BASE + 0x1000
+        for round_index in range(training_rounds):
+            b.set_memory(idx_base + 8 * round_index, 0)
+        b.set_memory(idx_base + 8 * training_rounds, oob_index)
+        total_rounds = training_rounds + 1
+
+        b.li(15, total_rounds)
+        b.li(14, 0)
+        b.li(10, array_base)
+        b.li(20, SIZE_ADDR)
+        b.label("round")
+        b.shli(16, 14, 3)
+        b.addi(16, 16, idx_base)
+        b.load(1, 16)
+        b.load(2, 20)
+        b.muli(3, 2, 1)
+        for _ in range(14):
+            b.muli(3, 3, 1)
+        b.bge(1, 3, "skip")
+        b.shli(4, 1, 3)
+        b.add(5, 10, 4)
+        b.load(6, 5)                       # transient secret read ...
+        b.xori(7, 6, 1)                    # ... that dies in a register
+        b.label("skip")
+        b.addi(14, 14, 1)
+        b.blt(14, 15, "round")
+        b.halt()
+        warm = [secret_address, SIZE_ADDR]
+        warm.extend(idx_base + 8 * r for r in range(0, total_rounds, 4))
+        return Gadget(
+            program=b.build(name=name),
+            secret_address=secret_address,
+            warm_addresses=tuple(warm),
+            observed_addresses=_probe_lines(),
+            notes="transient read with no transmitter; must be safe & clean",
+        )
+
+    return build
+
+
+def generate_secret_case(seed: int) -> SecretFuzzCase:
+    """Deterministically expand ``seed`` into a security-differential case."""
+    template = TEMPLATES[seed % len(TEMPLATES)]
+    rng = _case_rng(seed)
+    name = f"secretgen_{template}_{seed}"
+    if template == "benign":
+        build = _benign(rng, name)
+        secrets = (rng.randrange(1, 1 << 16), rng.randrange(1 << 16, 1 << 20))
+    elif template == "arch_transmit":
+        build = _arch_transmit(rng, name)
+        low = rng.randrange(1, 8)
+        secrets = (low, rng.randrange(8, 16))
+    elif template == "mini_spectre":
+        build = _mini_spectre(rng, name)
+        low = rng.randrange(1, 8)
+        secrets = (low, rng.randrange(8, 16))
+    elif template == "fig4":
+        build = _fig4(rng, name)
+        even = rng.randrange(0, 8) * 2
+        secrets = (even, even + 1)  # the channel carries the low bit
+    else:
+        build = _transient_read_only(rng, name)
+        secrets = (rng.randrange(1, 8), rng.randrange(8, 16))
+    return SecretFuzzCase(
+        name=name, template=template, seed=seed, secrets=secrets, build=build
+    )
+
+
+__all__ = [
+    "SecretFuzzCase",
+    "TEMPLATES",
+    "generate_secret_case",
+]

@@ -122,6 +122,10 @@ class DoctorReport:
     #: when the caller disabled it (--no-chaos).
     chaos_status: str = "skipped"
     chaos_findings: int = 0
+    #: specflow smoke outcome: "clean", "N disagreement(s)/...", or
+    #: "skipped" when the caller disabled it (--no-specflow).
+    specflow_status: str = "skipped"
+    specflow_findings: int = 0
 
     @property
     def ok(self) -> bool:
@@ -129,6 +133,7 @@ class DoctorReport:
             self.lint_findings == 0
             and self.fuzz_findings == 0
             and self.chaos_findings == 0
+            and self.specflow_findings == 0
             and all(row.ok for row in self.rows)
         )
 
@@ -141,6 +146,7 @@ class DoctorReport:
             f"static preflight (repro lint): {self.lint_status}",
             f"differential fuzz smoke: {self.fuzz_status}",
             f"chaos smoke (repro chaos): {self.chaos_status}",
+            f"specflow smoke (repro specflow): {self.specflow_status}",
             "",
         ]
         lines += [header, "-" * len(header)]
@@ -292,6 +298,55 @@ def _chaos_smoke() -> Tuple[str, int]:
     )
 
 
+#: Specflow smoke shape: three corpus gadgets (the headline attack, the
+#: paper's hardest fig4 variant, and the all-safe control) against the
+#: unprotected baseline, a delay-based defense, and the doppelganger
+#: configuration — enough cells to catch a broken verdict on either the
+#: static or the dynamic side in well under a second per cell.
+SPECFLOW_SMOKE_GADGETS: Tuple[str, ...] = (
+    "spectre_v1",
+    "fig4b_register_secret",
+    "store_forward_probe",
+)
+SPECFLOW_SMOKE_SCHEMES: Tuple[str, ...] = ("unsafe", "nda", "dom+ap")
+
+
+def _specflow_smoke() -> Tuple[str, int]:
+    """Tiny static-vs-dynamic leakage differential; ``(status_line, count)``.
+
+    Analyzes a three-gadget corpus cut with the specflow static analyzer
+    and replays each cell through the dynamic noninterference oracle,
+    checking the pinned verdicts on both sides plus the soundness
+    inclusion (static ``safe`` must imply dynamically clean).
+    """
+    from repro.analysis.specflow.differential import run_differential
+    from repro.common.errors import ReproError
+
+    try:
+        report = run_differential(
+            fuzz_seeds=0,
+            schemes=list(SPECFLOW_SMOKE_SCHEMES),
+            gadgets=list(SPECFLOW_SMOKE_GADGETS),
+        )
+    except ReproError as error:
+        return (f"infrastructure failure: {error}", 1)
+    if report.ok:
+        return (
+            f"clean ({report.corpus_cells} cells, "
+            f"{len(SPECFLOW_SMOKE_GADGETS)} gadgets x "
+            f"{len(SPECFLOW_SMOKE_SCHEMES)} schemes, "
+            f"{report.unknown_cells} unknown)",
+            0,
+        )
+    problems = len(report.disagreements)
+    first = report.disagreements[0].render()
+    return (
+        f"{problems} disagreement(s) — run `repro specflow` for details "
+        f"(first: {first})",
+        problems,
+    )
+
+
 def run_doctor(
     schemes: Tuple[str, ...] = DOCTOR_SCHEMES,
     instructions: int = 4000,
@@ -299,6 +354,7 @@ def run_doctor(
     lint_preflight: bool = True,
     fuzz_smoke: bool = True,
     chaos_smoke: bool = True,
+    specflow_smoke: bool = True,
 ) -> DoctorReport:
     """Run the smoke program under every scheme with full guardrails.
 
@@ -308,6 +364,8 @@ def run_doctor(
     a small differential fuzz pass (a few seeds, two schemes) checking
     architectural equivalence end to end.  ``chaos_smoke`` runs a tiny
     sweep under injected faults and requires bit-identical convergence.
+    ``specflow_smoke`` cross-checks the static leakage analyzer against
+    the dynamic noninterference oracle on a corpus cut.
     """
     from repro.pipeline.core import Core
     from repro.schemes import make_scheme
@@ -323,6 +381,10 @@ def run_doctor(
     chaos_status, chaos_findings = ("skipped", 0)
     if chaos_smoke:
         chaos_status, chaos_findings = _chaos_smoke()
+
+    specflow_status, specflow_findings = ("skipped", 0)
+    if specflow_smoke:
+        specflow_status, specflow_findings = _specflow_smoke()
 
     base = config if config is not None else small_config()
     cfg = base.with_overrides(guardrails=GuardrailConfig(level="full"))
@@ -357,4 +419,6 @@ def run_doctor(
         fuzz_findings=fuzz_findings,
         chaos_status=chaos_status,
         chaos_findings=chaos_findings,
+        specflow_status=specflow_status,
+        specflow_findings=specflow_findings,
     )

@@ -52,6 +52,7 @@ class CodeBuilder:
         self._pending: List[Tuple[int, str]] = []
         self._memory: Dict[int, int] = {}
         self._registers: Dict[int, int] = {}
+        self._secret_regions: List[Tuple[int, int]] = []
 
     # ------------------------------------------------------------------
     # Labels and layout
@@ -83,6 +84,19 @@ class CodeBuilder:
 
     def set_register(self, reg: int, value: int) -> None:
         self._registers[reg] = value
+
+    def mark_secret(self, address: int, words: int = 1) -> None:
+        """Declare ``words`` 8-byte words starting at ``address`` secret.
+
+        Recorded on the built :class:`Program` as ``secret_regions`` —
+        the single source of truth for "what must not leak", shared by
+        the dynamic noninterference oracle and the static specflow
+        analyzer.
+        """
+        if words <= 0:
+            raise AssemblyError(f"secret region at {address:#x} has no words")
+        start = address & ~7
+        self._secret_regions.append((start, start + 8 * words))
 
     # ------------------------------------------------------------------
     # Instruction emitters
@@ -216,6 +230,7 @@ class CodeBuilder:
             initial_memory=self._memory,
             initial_registers=self._registers,
             name=name,
+            secret_regions=self._secret_regions,
         )
 
     def _validate(self, instructions: List[Instruction], name: str) -> None:

@@ -9,7 +9,7 @@ simple in-order interpreter produces.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterator, List, Mapping, Optional, Sequence
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 from repro.common.errors import ExecutionError
 from repro.isa.instructions import (
@@ -58,6 +58,12 @@ class InterpreterResult:
     instructions_executed: int
     halted: bool
     branch_trace: List[bool] = field(default_factory=list)
+    mem_trace: Optional[List[Tuple[int, int, bool]]] = None
+    """With ``interpret(trace_mem=True)``: every memory access in program
+    order as ``(pc, word_address, is_store)``.  The static leakage
+    analyzer compares these traces across secret values to detect
+    *architectural* channels (access patterns that depend on the secret
+    with no speculation involved)."""
 
 
 class Program:
@@ -69,11 +75,38 @@ class Program:
         initial_memory: Optional[Mapping[int, int]] = None,
         initial_registers: Optional[Mapping[int, int]] = None,
         name: str = "program",
+        secret_regions: Sequence[Sequence[int]] = (),
     ):
         self.instructions: List[Instruction] = list(instructions)
         self.initial_memory: Dict[int, int] = dict(initial_memory or {})
         self.initial_registers: Dict[int, int] = dict(initial_registers or {})
         self.name = name
+        self.secret_regions: Tuple[Tuple[int, int], ...] = tuple(
+            sorted((int(start), int(end)) for start, end in secret_regions)
+        )
+        """Half-open byte ranges ``[start, end)`` holding secret data.
+
+        Declared by gadget builders (:meth:`CodeBuilder.mark_secret`) and
+        consumed by both judges of the noninterference property: the
+        dynamic oracle varies exactly these words between runs, and the
+        static analyzer (``repro.analysis.specflow``) seeds its taint
+        lattice from them.
+        """
+        for start, end in self.secret_regions:
+            if start >= end:
+                raise ExecutionError(
+                    f"{name}: empty secret region [{start:#x}, {end:#x})"
+                )
+
+    def secret_words(self) -> Tuple[int, ...]:
+        """Every word-aligned address covered by a secret region."""
+        words = set()
+        for start, end in self.secret_regions:
+            addr = start & ~(WORD_SIZE - 1)
+            while addr < end:
+                words.add(addr)
+                addr += WORD_SIZE
+        return tuple(sorted(words))
 
     def __len__(self) -> int:
         return len(self.instructions)
@@ -133,6 +166,7 @@ class Program:
                 str(reg): value
                 for reg, value in sorted(self.initial_registers.items())
             },
+            "secret_regions": [list(region) for region in self.secret_regions],
         }
 
     @classmethod
@@ -160,22 +194,30 @@ class Program:
                 for reg, value in payload.get("initial_registers", {}).items()
             },
             name=payload.get("name", "program"),
+            secret_regions=payload.get("secret_regions", ()),
         )
 
     # ------------------------------------------------------------------
     # Functional reference semantics
     # ------------------------------------------------------------------
-    def interpret(self, max_instructions: int = 10_000_000) -> InterpreterResult:
+    def interpret(
+        self, max_instructions: int = 10_000_000, trace_mem: bool = False
+    ) -> InterpreterResult:
         """Run the program on a simple in-order interpreter.
 
         Returns the final architectural state; used as the golden reference
-        for the out-of-order core and for deriving branch traces.
+        for the out-of-order core and for deriving branch traces.  With
+        ``trace_mem`` the result additionally records every memory access
+        as ``(pc, word_address, is_store)`` — the raw material for the
+        static analyzer's architectural-channel check.
         """
         state = self.initial_state()
         pc = 0
         executed = 0
         branch_trace: List[bool] = []
+        mem_trace: Optional[List[Tuple[int, int, bool]]] = [] if trace_mem else None
         program_len = len(self.instructions)
+        word_align = ~(WORD_SIZE - 1) & WORD_MASK
         while 0 <= pc < program_len:
             if executed >= max_instructions:
                 raise ExecutionError(
@@ -185,7 +227,7 @@ class Program:
             executed += 1
             op = inst.opcode
             if op is Opcode.HALT:
-                return InterpreterResult(state, executed, True, branch_trace)
+                return InterpreterResult(state, executed, True, branch_trace, mem_trace)
             if op is Opcode.NOP:
                 pc += 1
             elif inst.is_alu:
@@ -195,10 +237,14 @@ class Program:
                 pc += 1
             elif op is Opcode.LOAD:
                 address = (state.read_reg(inst.rs1) + inst.imm) & WORD_MASK
+                if mem_trace is not None:
+                    mem_trace.append((pc, address & word_align, False))
                 state.write_reg(inst.rd, state.read_mem(address))
                 pc += 1
             elif op is Opcode.STORE:
                 address = (state.read_reg(inst.rs1) + inst.imm) & WORD_MASK
+                if mem_trace is not None:
+                    mem_trace.append((pc, address & word_align, True))
                 state.write_mem(address, state.read_reg(inst.rs2))
                 pc += 1
             elif inst.is_branch:
@@ -210,4 +256,4 @@ class Program:
                 pc = inst.imm if taken else pc + 1
             else:  # pragma: no cover - all opcodes handled above
                 raise ExecutionError(f"unhandled opcode {op}")
-        return InterpreterResult(state, executed, False, branch_trace)
+        return InterpreterResult(state, executed, False, branch_trace, mem_trace)

@@ -155,6 +155,71 @@ def attack_config() -> SystemConfig:
     return SystemConfig(branch=BranchPredictorConfig(history_bits=0))
 
 
+def apply_secret(program: Program, value: int) -> Program:
+    """A copy of ``program`` with every declared secret word set to ``value``.
+
+    The canonical way to vary a secret: both the dynamic noninterference
+    check (via gadget builders, validated below) and the static analyzer's
+    architectural-channel precheck derive their per-secret program images
+    from the ``Program.secret_regions`` declaration, so the two judges can
+    never disagree about *which* state is the secret.
+    """
+    if not program.secret_regions:
+        raise ConfigError(
+            f"{program.name}: no secret regions declared; nothing to vary"
+        )
+    memory = dict(program.initial_memory)
+    for word in program.secret_words():
+        memory[word] = value & ((1 << 64) - 1)
+    return Program(
+        program.instructions,
+        initial_memory=memory,
+        initial_registers=program.initial_registers,
+        name=program.name,
+        secret_regions=program.secret_regions,
+    )
+
+
+def _check_secret_variation(reference: Program, candidate: Program) -> None:
+    """Require two builds of one gadget to differ only in secret regions.
+
+    A gadget builder that bakes the secret into anything *other* than the
+    declared regions (an instruction immediate, an attacker-visible index)
+    would make the noninterference comparison meaningless — the attacker
+    view could differ for reasons that are not leaks.  Catching that here
+    keeps the dynamic oracle and the static analyzer aligned on the same
+    threat model.
+    """
+    if len(reference.instructions) != len(candidate.instructions) or any(
+        a != b for a, b in zip(reference.instructions, candidate.instructions)
+    ):
+        raise ConfigError(
+            f"{reference.name}: gadget instructions vary with the secret"
+        )
+    if reference.initial_registers != candidate.initial_registers:
+        raise ConfigError(
+            f"{reference.name}: gadget initial registers vary with the secret"
+        )
+    if reference.secret_regions != candidate.secret_regions:
+        raise ConfigError(
+            f"{reference.name}: gadget secret regions vary with the secret"
+        )
+    secret_words = set(reference.secret_words())
+    differing = {
+        addr
+        for addr in set(reference.initial_memory) | set(candidate.initial_memory)
+        if reference.initial_memory.get(addr, 0)
+        != candidate.initial_memory.get(addr, 0)
+    }
+    outside = sorted(differing - secret_words)
+    if outside:
+        raise ConfigError(
+            f"{reference.name}: memory outside the declared secret regions "
+            f"varies with the secret (first: {outside[0]:#x}); declare it "
+            f"with CodeBuilder.mark_secret or fix the builder"
+        )
+
+
 def build_gadget_core(
     gadget: "Gadget",
     scheme: Union[str, SecureScheme],
@@ -205,10 +270,15 @@ def noninterference_check(
     addresses can distinguish the secrets.
     """
     snapshots: Dict[int, Snapshot] = {}
+    reference_program: Optional[Program] = None
     for secret in secrets:
         gadget = gadget_builder(secret)
         if not gadget.observed_addresses:
             raise ConfigError("gadget declares no observed addresses")
+        if reference_program is None:
+            reference_program = gadget.program
+        else:
+            _check_secret_variation(reference_program, gadget.program)
         core, _ = build_gadget_core(gadget, scheme, config)
         core.hierarchy.watch(list(gadget.observed_addresses))
         core.run()

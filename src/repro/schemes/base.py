@@ -56,6 +56,12 @@ class SecureScheme:
 
     #: Short identifier used by the harness and result labels.
     name = "unsafe"
+    #: Which declarative policy model the static leakage analyzer
+    #: (``repro.analysis.specflow``) uses for this scheme.  A plain string
+    #: key — never an object — so schemes stay import-independent of the
+    #: analysis layer (reprolint RPL401); RPL901 enforces that every
+    #: scheme class declares one (or an explicit ``specflow_opt_out``).
+    specflow_policy = "unsafe"
     #: True when the doppelganger engine should run on this scheme.
     address_prediction = False
     #: DoM releases doppelganger values that missed in the L1 only once the

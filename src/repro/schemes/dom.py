@@ -29,6 +29,7 @@ class DelayOnMiss(SecureScheme):
     """Figure 1(d): speculative L1 hits proceed, speculative misses wait."""
 
     name = "dom"
+    specflow_policy = "dom"
     dl_miss_release_at_nonspec = True
     gates_loads = True
     uses_probe = True

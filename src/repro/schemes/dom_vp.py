@@ -33,6 +33,7 @@ class DoMValuePrediction(DelayOnMiss):
     """
 
     name = "dom+vp"
+    specflow_policy = "dom+vp"
     uses_value_prediction = True
 
     def __init__(self, address_prediction: bool = False):

@@ -21,6 +21,7 @@ class NDAPermissive(SecureScheme):
     while speculative."""
 
     name = "nda"
+    specflow_policy = "nda"
     gates_values = True
     needs_shadows = True
 

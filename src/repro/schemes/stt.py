@@ -32,6 +32,7 @@ class STT(SecureScheme):
     transmitters until their operands untaint."""
 
     name = "stt"
+    specflow_policy = "stt"
     uses_taint = True
     gates_loads = True
     gates_stores = True

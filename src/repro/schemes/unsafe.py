@@ -14,3 +14,4 @@ class UnsafeBaseline(SecureScheme):
     """Figure 1(a): forwards speculatively loaded values unconditionally."""
 
     name = "unsafe"
+    specflow_policy = "unsafe"

@@ -1,0 +1,129 @@
+"""End-to-end static verdicts on hand-built programs and real gadgets."""
+
+from repro.analysis.specflow import analyze_program
+from repro.analysis.specflow.model import (
+    VERDICT_LEAK,
+    VERDICT_SAFE,
+    VERDICT_UNKNOWN,
+)
+from repro.attacks.corpus import scheme_factory
+from repro.attacks.gadgets import spectre_v1
+from repro.isa.builder import CodeBuilder
+
+SECRET = 0x1000
+PROBE = 0x8000
+
+ALL = None  # analyze_program's default: the standard scheme labels
+
+
+def secretless_program():
+    b = CodeBuilder()
+    b.li(1, 3)
+    b.addi(1, 1, 1)
+    b.halt()
+    return b.build(name="no_secrets")
+
+
+def arch_channel_program():
+    """Architecturally indexes probe memory with the secret."""
+    b = CodeBuilder()
+    b.set_memory(SECRET, 1)
+    b.mark_secret(SECRET)
+    b.li(1, SECRET)
+    b.load(2, 1)
+    b.shli(2, 2, 6)
+    b.addi(2, 2, PROBE)
+    b.load(3, 2)
+    b.halt()
+    return b.build(name="arch_channel")
+
+
+def unreachable_secret_program():
+    """A secret is declared but no instruction can read it."""
+    b = CodeBuilder()
+    b.set_memory(SECRET, 1)
+    b.mark_secret(SECRET)
+    b.set_memory(0x2000, 7)
+    b.li(1, 0x2000)
+    b.load(2, 1)
+    b.beq(2, 0, "out")
+    b.addi(2, 2, 1)
+    b.label("out")
+    b.halt()
+    return b.build(name="benign")
+
+
+class TestDegenerateCases:
+    def test_no_secret_regions_is_vacuously_safe(self):
+        report = analyze_program(secretless_program())
+        assert all(v.verdict == VERDICT_SAFE for v in report.verdicts.values())
+        assert "vacuously" in report.verdicts["unsafe"].reason
+
+    def test_unreachable_secret_is_safe_everywhere(self):
+        report = analyze_program(unreachable_secret_program())
+        assert all(v.verdict == VERDICT_SAFE for v in report.verdicts.values())
+
+    def test_budget_exhaustion_yields_unknown_not_safe(self):
+        report = analyze_program(spectre_v1().program, budget=5)
+        assert all(v.verdict == VERDICT_UNKNOWN for v in report.verdicts.values())
+        assert report.unknown_reason
+
+
+class TestArchitecturalChannel:
+    def test_flagged_for_every_scheme(self):
+        report = analyze_program(arch_channel_program())
+        assert report.arch_channel is not None
+        assert all(v.verdict == VERDICT_LEAK for v in report.verdicts.values())
+
+    def test_finding_marks_the_channel_architectural(self):
+        report = analyze_program(arch_channel_program(), schemes=["dom+ap"])
+        leak = report.verdicts["dom+ap"].leaks[0]
+        assert leak.window_pc == -1
+        assert leak.transmitter_kind == "architectural"
+
+
+class TestSpectreVerdicts:
+    def test_unprotected_baseline_leaks(self):
+        report = analyze_program(spectre_v1().program)
+        assert report.verdict("unsafe") == VERDICT_LEAK
+        assert report.verdict("unsafe+ap") == VERDICT_LEAK
+
+    def test_defended_schemes_are_safe(self):
+        report = analyze_program(spectre_v1().program)
+        for label in ("nda", "stt", "dom", "dom+vp", "nda+ap", "stt+ap", "dom+ap"):
+            assert report.verdict(label) == VERDICT_SAFE, label
+
+    def test_insecure_dom_variants_leak_under_ap(self):
+        report = analyze_program(spectre_v1().program)
+        assert report.verdict("dom-insecure-branches+ap") == VERDICT_LEAK
+        assert report.verdict("dom-insecure-reissue+ap") == VERDICT_LEAK
+
+    def test_leak_path_names_window_and_source(self):
+        report = analyze_program(spectre_v1().program, schemes=["unsafe"])
+        leak = report.verdicts["unsafe"].leaks[0]
+        assert leak.window_pc >= 0
+        assert leak.facts
+        rendered = "\n".join(leak.render())
+        assert "speculation window" in rendered
+        assert "source load" in rendered
+
+    def test_scheme_instances_are_accepted(self):
+        scheme = scheme_factory("dom+ap")
+        report = analyze_program(spectre_v1().program, schemes=[scheme])
+        assert report.verdict("dom+ap") == VERDICT_SAFE
+
+
+class TestReportShape:
+    def test_to_dict_round_trips_to_json_types(self):
+        import json
+
+        report = analyze_program(spectre_v1().program, schemes=["unsafe", "nda"])
+        payload = json.loads(json.dumps(report.to_dict()))
+        assert payload["program"] == "spectre_v1"
+        assert payload["verdicts"]["unsafe"]["verdict"] == VERDICT_LEAK
+        assert payload["verdicts"]["nda"]["verdict"] == VERDICT_SAFE
+
+    def test_windows_and_transmitters_counted(self):
+        report = analyze_program(spectre_v1().program, schemes=["unsafe"])
+        assert report.windows > 0
+        assert report.transmitters > 0

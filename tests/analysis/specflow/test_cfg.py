@@ -1,0 +1,85 @@
+"""CFG construction and speculation-window shape."""
+
+from repro.analysis.specflow.cfg import reachable, speculation_windows, successors
+from repro.isa.builder import CodeBuilder
+
+
+def straight_line():
+    b = CodeBuilder()
+    b.li(1, 5)
+    b.addi(1, 1, 1)
+    b.halt()
+    return b.build(name="straight")
+
+
+def diamond():
+    b = CodeBuilder()
+    b.li(1, 1)            # 0
+    b.beq(1, 0, "else")   # 1
+    b.addi(2, 1, 1)       # 2 (then)
+    b.jmp("join")         # 3
+    b.label("else")
+    b.addi(2, 1, 2)       # 4 (else)
+    b.label("join")
+    b.halt()              # 5
+    return b.build(name="diamond")
+
+
+def loop():
+    b = CodeBuilder()
+    b.li(1, 0)            # 0
+    b.li(2, 4)            # 1
+    b.label("top")
+    b.addi(1, 1, 1)       # 2
+    b.blt(1, 2, "top")    # 3
+    b.halt()              # 4
+    return b.build(name="loop")
+
+
+class TestSuccessors:
+    def test_straight_line(self):
+        table = successors(straight_line())
+        assert table == [(1,), (2,), ()]
+
+    def test_branch_has_both_successors(self):
+        table = successors(diamond())
+        assert set(table[1]) == {2, 4}
+
+    def test_jmp_has_single_successor(self):
+        table = successors(diamond())
+        assert table[3] == (5,)
+
+    def test_halt_has_no_successors(self):
+        table = successors(diamond())
+        assert table[5] == ()
+
+
+class TestReachable:
+    def test_includes_starts(self):
+        table = successors(diamond())
+        assert 2 in reachable(table, 2)
+
+    def test_crosses_joins(self):
+        table = successors(diamond())
+        assert reachable(table, 2) == frozenset({2, 3, 5})
+
+    def test_out_of_range_start_is_empty(self):
+        table = successors(straight_line())
+        assert reachable(table, 99) == frozenset()
+
+
+class TestSpeculationWindows:
+    def test_one_window_per_conditional_branch(self):
+        assert set(speculation_windows(diamond())) == {1}
+        assert set(speculation_windows(straight_line())) == set()
+
+    def test_window_unions_both_arms(self):
+        window = speculation_windows(diamond())[1]
+        # Then-arm, else-arm, and the join are all in the shadow.
+        assert {2, 3, 4, 5} <= window
+
+    def test_window_crosses_loop_back_edge(self):
+        # The bottom-of-loop branch shadows the next iteration: its own
+        # pc is reachable from its taken successor.
+        window = speculation_windows(loop())[3]
+        assert 3 in window and 2 in window

@@ -1,0 +1,204 @@
+"""Abstract-interpretation engine unit tests."""
+
+import pytest
+
+from repro.analysis.specflow.dataflow import (
+    AbsState,
+    DEFAULT_BUDGET,
+    initial_image,
+    join,
+    merge_taint,
+    operand_taint,
+    rekey,
+    run_dataflow,
+    transfer,
+)
+from repro.common.errors import SpecflowBudgetError
+from repro.isa.builder import CodeBuilder
+
+SECRET = 0x1000
+
+
+def no_source(pc, addr):
+    return None
+
+
+def secret_source(pc, addr):
+    if addr == SECRET:
+        return "arch"
+    return None
+
+
+def final_state(program, source_fn=no_source):
+    """IN-states after a full fixpoint from pc 0."""
+    in_states, _ = run_dataflow(program, {0: AbsState.entry(program)}, source_fn)
+    return in_states
+
+
+class TestTransfer:
+    def test_constants_propagate_through_alu(self):
+        b = CodeBuilder()
+        b.li(1, 6)
+        b.muli(2, 1, 7)
+        b.halt()
+        program = b.build(name="t")
+        in_states = final_state(program)
+        value, taint = in_states[2].read_reg(2)
+        assert value == 42 and taint == {}
+
+    def test_alu_result_is_masked_like_the_interpreter(self):
+        b = CodeBuilder()
+        b.li(1, (1 << 63) + 5)
+        b.shli(2, 1, 1)          # overflows 64 bits
+        b.halt()
+        program = b.build(name="t")
+        in_states = final_state(program)
+        value, _ = in_states[2].read_reg(2)
+        assert value == 10  # (2**63+5) * 2 mod 2**64
+
+    def test_const_load_reads_initial_image(self):
+        b = CodeBuilder()
+        b.set_memory(0x2000, 77)
+        b.li(1, 0x2000)
+        b.load(2, 1)
+        b.halt()
+        program = b.build(name="t")
+        in_states = final_state(program)
+        value, taint = in_states[2].read_reg(2)
+        assert value == 77 and taint == {}
+
+    def test_secret_load_taints_and_forgets_value(self):
+        b = CodeBuilder()
+        b.set_memory(SECRET, 9)
+        b.li(1, SECRET)
+        b.load(2, 1)
+        b.addi(3, 2, 1)
+        b.halt()
+        program = b.build(name="t")
+        in_states = final_state(program, secret_source)
+        value, taint = in_states[2].read_reg(2)
+        assert value is None  # a tainted value carries no usable constant
+        assert set(taint) == {("arch", 1)}
+        # Taint flows through the ALU with the path extended.
+        _, derived = in_states[3].read_reg(3)
+        assert ("arch", 1) in derived
+        assert derived[("arch", 1)] == (1, 2)
+
+    def test_const_store_is_a_strong_update(self):
+        b = CodeBuilder()
+        b.set_memory(0x2000, 1)
+        b.li(1, 0x2000)
+        b.li(2, 5)
+        b.store(2, 1)
+        b.load(3, 1)
+        b.halt()
+        program = b.build(name="t")
+        in_states = final_state(program)
+        value, taint = in_states[4].read_reg(3)
+        assert value == 5 and taint == {}
+
+    def test_unknown_store_clobbers_memory(self):
+        b = CodeBuilder()
+        b.set_memory(SECRET, 9)
+        b.set_memory(0x2000, 7)
+        b.li(1, SECRET)
+        b.load(2, 1)          # tainted, value unknown (None)
+        b.store(2, 2)         # tainted data at a secret-derived address
+        b.li(4, 0x2000)
+        b.load(5, 4)          # may read the clobbered heap
+        b.halt()
+        program = b.build(name="t")
+        in_states = final_state(program, secret_source)
+        state = in_states[5]
+        assert state.clobbered
+        value, taint = state.read_reg(5)
+        assert value is None
+        # The stored *data* taint is reachable through any later load.
+        assert ("arch", 1) in taint
+
+
+class TestJoinAndTaint:
+    def test_join_keeps_agreeing_values_drops_conflicts(self):
+        b = CodeBuilder()
+        b.li(1, 3)
+        b.halt()
+        program = b.build(name="t")
+        a = AbsState.entry(program)
+        c = AbsState.entry(program)
+        a.write_reg(1, 3, {})
+        c.write_reg(1, 4, {})
+        joined, changed = join(a, c)
+        assert changed
+        assert joined.read_reg(1) == (None, {})
+
+    def test_join_unions_taint(self):
+        b = CodeBuilder()
+        b.halt()
+        program = b.build(name="t")
+        a = AbsState.entry(program)
+        c = AbsState.entry(program)
+        a.write_reg(1, None, {("arch", 1): (1,)})
+        c.write_reg(1, None, {("spec", 2): (2,)})
+        joined, _ = join(a, c)
+        assert set(joined.read_reg(1)[1]) == {("arch", 1), ("spec", 2)}
+
+    def test_merge_taint_prefers_first_path(self):
+        merged = merge_taint({("arch", 1): (1,)}, {("arch", 1): (1, 2)})
+        assert merged[("arch", 1)] == (1,)
+
+    def test_rekey_changes_kind_only(self):
+        rekeyed = rekey({("arch", 5): (5, 6)}, "pre")
+        assert rekeyed == {("pre", 5): (5, 6)}
+
+    def test_operand_taint_for_branch_reads_both_operands(self):
+        b = CodeBuilder()
+        b.set_memory(SECRET, 9)
+        b.li(1, SECRET)
+        b.load(2, 1)
+        b.beq(2, 0, "out")
+        b.label("out")
+        b.halt()
+        program = b.build(name="t")
+        in_states = final_state(program, secret_source)
+        taint = operand_taint(in_states[2], 2, program)
+        assert ("arch", 1) in taint
+
+
+class TestBudgetAndConvergence:
+    def test_loop_converges(self):
+        b = CodeBuilder()
+        b.li(1, 0)
+        b.li(2, 100)
+        b.label("top")
+        b.addi(1, 1, 1)
+        b.blt(1, 2, "top")
+        b.halt()
+        program = b.build(name="t")
+        in_states, spent = run_dataflow(
+            program, {0: AbsState.entry(program)}, no_source
+        )
+        assert spent < DEFAULT_BUDGET
+        # The loop counter cannot stay constant across iterations.
+        assert in_states[4].read_reg(1)[0] is None
+
+    def test_budget_exhaustion_raises(self):
+        b = CodeBuilder()
+        b.li(1, 0)
+        b.li(2, 100)
+        b.label("top")
+        b.addi(1, 1, 1)
+        b.blt(1, 2, "top")
+        b.halt()
+        program = b.build(name="t")
+        with pytest.raises(SpecflowBudgetError):
+            run_dataflow(program, {0: AbsState.entry(program)}, no_source, budget=3)
+
+
+class TestInitialImage:
+    def test_addresses_aligned_and_values_masked(self):
+        b = CodeBuilder()
+        b.set_memory(0x2004, -1)
+        b.halt()
+        program = b.build(name="t")
+        image = initial_image(program)
+        assert image == {0x2000: (1 << 64) - 1}

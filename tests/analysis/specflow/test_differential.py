@@ -1,0 +1,98 @@
+"""Static-vs-dynamic differential harness tests.
+
+The full-matrix sweep lives in ``tests/attacks/test_matrix.py``; here we
+test the harness itself — pins, the soundness inclusion, and report
+plumbing — on deliberately small cuts.
+"""
+
+import dataclasses
+
+from repro.analysis.specflow.differential import (
+    KIND_STATIC_MISMATCH,
+    KIND_UNSOUND,
+    check_entry,
+    check_fuzz_seed,
+    dynamic_verdict,
+    run_differential,
+)
+from repro.analysis.specflow.model import VERDICT_SAFE
+from repro.attacks.corpus import (
+    DYNAMIC_CLEAN,
+    DYNAMIC_LEAK,
+    corpus_entry,
+)
+
+
+class TestDynamicVerdict:
+    def test_spectre_leaks_on_unsafe_and_not_on_dom_ap(self):
+        entry = corpus_entry("spectre_v1")
+        assert dynamic_verdict(entry.build, "unsafe", entry.secrets) == DYNAMIC_LEAK
+        assert dynamic_verdict(entry.build, "dom+ap", entry.secrets) == DYNAMIC_CLEAN
+
+
+class TestCheckEntry:
+    def test_pinned_corpus_cell_is_clean(self):
+        entry = corpus_entry("spectre_v1")
+        report, unknown, problems = check_entry(entry, ["unsafe", "nda"])
+        assert problems == []
+        assert unknown == 0
+        assert report.program_name == "spectre_v1"
+
+    def test_static_only_skips_the_simulator(self):
+        entry = corpus_entry("spectre_v1")
+        _, _, problems = check_entry(entry, ["unsafe", "dom+ap"], static_only=True)
+        assert problems == []
+
+    def test_drifted_static_pin_is_reported(self):
+        entry = corpus_entry("spectre_v1")
+        bad = dataclasses.replace(
+            entry, expected_static={**entry.expected_static, "unsafe": VERDICT_SAFE}
+        )
+        _, _, problems = check_entry(bad, ["unsafe"], static_only=True)
+        assert [p.kind for p in problems] == [KIND_STATIC_MISMATCH]
+        assert problems[0].scheme == "unsafe"
+
+
+class TestCheckFuzzSeed:
+    def test_benign_template_is_sound_on_a_defended_scheme(self):
+        # Seed 0 is the benign template: static safe, dynamics clean.
+        report, unknown, problems = check_fuzz_seed(0, ["unsafe", "dom+ap"])
+        assert problems == []
+        assert report.program_name.startswith("secretgen_benign")
+
+    def test_static_leak_cells_skip_the_dynamic_run(self):
+        # Seed 1 is arch_transmit: static leak-possible everywhere, so
+        # the harness has nothing to refute dynamically.
+        report, unknown, problems = check_fuzz_seed(1, ["unsafe"])
+        assert problems == []
+        assert report.arch_channel is not None
+
+
+class TestRunDifferential:
+    def test_static_only_corpus_sweep_is_clean(self):
+        report = run_differential(fuzz_seeds=0, static_only=True)
+        assert report.ok
+        assert report.corpus_cells > 0
+        assert report.fuzz_cells == 0
+
+    def test_gadget_and_scheme_restriction(self):
+        report = run_differential(
+            fuzz_seeds=0,
+            schemes=["unsafe", "dom+ap"],
+            gadgets=["spectre_v1"],
+        )
+        assert report.ok
+        assert report.corpus_cells == 2
+        assert len(report.static_reports) == 1
+
+    def test_report_serializes(self):
+        import json
+
+        report = run_differential(fuzz_seeds=0, static_only=True)
+        payload = json.loads(json.dumps(report.to_dict()))
+        assert payload["ok"] is True
+        assert payload["disagreements"] == []
+
+    def test_unsound_kind_is_the_fatal_marker(self):
+        # Sanity-check the constant the CI artifact consumers grep for.
+        assert KIND_UNSOUND == "static-safe-dynamic-leak"

@@ -1,0 +1,75 @@
+"""The full gadget x scheme verdict matrix, pinned cell by cell.
+
+Every corpus gadget is judged under every scheme label by both judges —
+the static specflow analyzer and the dynamic noninterference oracle —
+and each cell is asserted against the expectation pinned in
+:data:`repro.attacks.corpus.ATTACK_CORPUS`.  A change to a scheme, the
+analyzer, or the simulator that moves any cell fails here with the
+exact (gadget, scheme) coordinate.
+"""
+
+import pytest
+
+from repro.analysis.specflow import analyze_program
+from repro.analysis.specflow.differential import dynamic_verdict
+from repro.attacks.corpus import (
+    ATTACK_CORPUS,
+    CORPUS_BY_NAME,
+    CORPUS_SCHEME_LABELS,
+)
+
+CELLS = [
+    (entry.name, label)
+    for entry in ATTACK_CORPUS
+    for label in CORPUS_SCHEME_LABELS
+]
+
+
+@pytest.fixture(scope="module")
+def static_reports():
+    """One static analysis per gadget, shared across the matrix."""
+    return {
+        entry.name: analyze_program(entry.build(entry.secrets[0]).program)
+        for entry in ATTACK_CORPUS
+    }
+
+
+class TestPins:
+    def test_every_cell_has_expectations_on_both_sides(self):
+        for entry in ATTACK_CORPUS:
+            for label in CORPUS_SCHEME_LABELS:
+                assert label in entry.expected_static, (entry.name, label)
+                assert label in entry.expected_dynamic, (entry.name, label)
+
+    def test_matrix_covers_all_scheme_labels(self):
+        # 4 gadgets x 11 scheme configurations.
+        assert len(CELLS) == len(ATTACK_CORPUS) * 11
+
+
+@pytest.mark.parametrize("gadget,label", CELLS)
+class TestStaticMatrix:
+    def test_static_verdict(self, static_reports, gadget, label):
+        entry = CORPUS_BY_NAME[gadget]
+        assert static_reports[gadget].verdict(label) == entry.expected_static[label]
+
+
+@pytest.mark.parametrize("gadget,label", CELLS)
+class TestDynamicMatrix:
+    def test_dynamic_verdict(self, gadget, label):
+        entry = CORPUS_BY_NAME[gadget]
+        observed = dynamic_verdict(entry.build, label, entry.secrets)
+        assert observed == entry.expected_dynamic[label]
+
+
+class TestSoundnessInclusion:
+    def test_no_pinned_cell_is_statically_safe_but_dynamically_leaky(self):
+        from repro.analysis.specflow.model import VERDICT_SAFE
+        from repro.attacks.corpus import DYNAMIC_LEAK
+
+        for entry in ATTACK_CORPUS:
+            for label in CORPUS_SCHEME_LABELS:
+                if entry.expected_static[label] == VERDICT_SAFE:
+                    assert entry.expected_dynamic[label] != DYNAMIC_LEAK, (
+                        entry.name,
+                        label,
+                    )

@@ -1,0 +1,70 @@
+"""Secret-gadget generator: determinism, template coverage, contracts."""
+
+from repro.analysis.specflow import analyze_program
+from repro.analysis.specflow.model import VERDICT_LEAK, VERDICT_SAFE
+from repro.fuzz.secretgen import TEMPLATES, generate_secret_case
+
+
+class TestDeterminism:
+    def test_same_seed_same_case(self):
+        a = generate_secret_case(7)
+        b = generate_secret_case(7)
+        assert a.name == b.name and a.secrets == b.secrets
+        pa = a.build(a.secrets[0]).program
+        pb = b.build(b.secrets[0]).program
+        assert pa.to_dict() == pb.to_dict()
+
+    def test_build_is_pure_in_the_secret(self):
+        case = generate_secret_case(3)
+        low = case.build(case.secrets[0]).program
+        high = case.build(case.secrets[1]).program
+        assert [i.disassemble() for i in low.instructions] == [
+            i.disassemble() for i in high.instructions
+        ]
+        assert low.secret_regions == high.secret_regions
+
+    def test_seeds_cycle_through_all_templates(self):
+        templates = {generate_secret_case(seed).template for seed in range(5)}
+        assert templates == set(TEMPLATES)
+
+
+class TestContracts:
+    def test_every_case_declares_a_secret_region(self):
+        for seed in range(10):
+            case = generate_secret_case(seed)
+            program = case.build(case.secrets[0]).program
+            assert program.secret_regions, case.name
+            assert case.secrets[0] != case.secrets[1]
+
+    def test_case_names_embed_template_and_seed(self):
+        case = generate_secret_case(12)
+        assert case.template in case.name
+        assert case.name.endswith("_12")
+
+
+class TestStaticExpectations:
+    def test_benign_template_is_safe_everywhere(self):
+        case = generate_secret_case(0)
+        assert case.template == "benign"
+        report = analyze_program(case.build(case.secrets[0]).program)
+        assert all(v.verdict == VERDICT_SAFE for v in report.verdicts.values())
+
+    def test_arch_transmit_template_leaks_everywhere(self):
+        case = generate_secret_case(1)
+        assert case.template == "arch_transmit"
+        report = analyze_program(case.build(case.secrets[0]).program)
+        assert all(v.verdict == VERDICT_LEAK for v in report.verdicts.values())
+
+    def test_mini_spectre_discriminates_schemes(self):
+        case = generate_secret_case(2)
+        assert case.template == "mini_spectre"
+        report = analyze_program(case.build(case.secrets[0]).program)
+        assert report.verdict("unsafe") == VERDICT_LEAK
+        assert report.verdict("dom+ap") == VERDICT_SAFE
+
+    def test_transient_read_only_is_safe_under_taint_gating(self):
+        case = generate_secret_case(4)
+        assert case.template == "transient_read_only"
+        report = analyze_program(case.build(case.secrets[0]).program)
+        for label in ("nda", "stt", "dom", "dom+ap"):
+            assert report.verdict(label) == VERDICT_SAFE, label

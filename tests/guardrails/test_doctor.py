@@ -52,6 +52,42 @@ class TestDoctor:
         assert report.fuzz_status == "skipped"
         assert report.ok
 
+    def test_specflow_smoke_runs_and_reports_clean(self):
+        report = run_doctor(
+            schemes=("unsafe",),
+            instructions=800,
+            lint_preflight=False,
+            fuzz_smoke=False,
+            chaos_smoke=False,
+        )
+        assert report.specflow_findings == 0
+        assert report.specflow_status.startswith("clean")
+        assert "specflow smoke (repro specflow): clean" in report.render()
+
+    def test_specflow_smoke_can_be_skipped(self):
+        report = run_doctor(
+            schemes=("unsafe",),
+            instructions=800,
+            lint_preflight=False,
+            fuzz_smoke=False,
+            chaos_smoke=False,
+            specflow_smoke=False,
+        )
+        assert report.specflow_status == "skipped"
+        assert report.ok
+
+    def test_specflow_findings_fail_the_report(self):
+        report = run_doctor(
+            schemes=("unsafe",),
+            instructions=800,
+            lint_preflight=False,
+            fuzz_smoke=False,
+            chaos_smoke=False,
+            specflow_smoke=False,
+        )
+        report.specflow_findings = 1
+        assert not report.ok
+
 
 class TestDoctorCli:
     def test_cli_doctor_exit_code(self, capsys):
@@ -61,3 +97,14 @@ class TestDoctorCli:
         out = capsys.readouterr().out
         assert code == 0
         assert "all invariants held" in out
+
+    def test_cli_no_specflow_skips_the_smoke(self, capsys):
+        from repro.cli import main
+
+        code = main([
+            "doctor", "--schemes", "unsafe", "--instructions", "800",
+            "--no-specflow", "--no-fuzz", "--no-chaos", "--no-lint",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "specflow smoke (repro specflow): skipped" in out

@@ -1,0 +1,87 @@
+"""Secret regions as a first-class Program field.
+
+``secret_regions`` is the single source of truth for "what must not
+leak": the builder's ``mark_secret`` records it, serialization round-
+trips it, and both the dynamic noninterference oracle and the static
+specflow analyzer read it from the same place.
+"""
+
+import pytest
+
+from repro.common.errors import AssemblyError
+from repro.isa.builder import CodeBuilder
+from repro.isa.program import Program
+
+
+def build(mark=True):
+    b = CodeBuilder()
+    b.set_memory(0x1000, 42)
+    if mark:
+        b.mark_secret(0x1000)
+    b.li(1, 1)
+    b.halt()
+    return b.build(name="secretful")
+
+
+class TestDeclaration:
+    def test_mark_secret_records_a_region(self):
+        program = build()
+        assert program.secret_regions == ((0x1000, 0x1008),)
+
+    def test_secret_words_enumerates_word_addresses(self):
+        b = CodeBuilder()
+        b.mark_secret(0x2000, words=3)
+        b.halt()
+        program = b.build(name="p")
+        assert program.secret_words() == (0x2000, 0x2008, 0x2010)
+
+    def test_unaligned_mark_is_word_aligned(self):
+        b = CodeBuilder()
+        b.mark_secret(0x1004)
+        b.halt()
+        program = b.build(name="p")
+        assert program.secret_regions == ((0x1000, 0x1008),)
+
+    def test_zero_words_is_an_assembly_error(self):
+        b = CodeBuilder()
+        with pytest.raises(AssemblyError):
+            b.mark_secret(0x1000, words=0)
+
+    def test_regions_sorted_and_normalized(self):
+        b = CodeBuilder()
+        b.mark_secret(0x3000)
+        b.mark_secret(0x1000)
+        b.halt()
+        program = b.build(name="p")
+        assert program.secret_regions == ((0x1000, 0x1008), (0x3000, 0x3008))
+
+
+class TestRoundTrip:
+    def test_to_dict_from_dict_preserves_regions(self):
+        program = build()
+        clone = Program.from_dict(program.to_dict())
+        assert clone.secret_regions == program.secret_regions
+        assert clone.to_dict() == program.to_dict()
+
+    def test_from_dict_defaults_to_no_regions(self):
+        payload = build(mark=False).to_dict()
+        payload.pop("secret_regions", None)
+        clone = Program.from_dict(payload)
+        assert clone.secret_regions == ()
+
+
+class TestMemTrace:
+    def test_trace_records_loads_and_stores(self):
+        b = CodeBuilder()
+        b.set_memory(0x1000, 7)
+        b.li(1, 0x1000)
+        b.load(2, 1)
+        b.store(2, 1, disp=8)
+        b.halt()
+        program = b.build(name="p")
+        result = program.interpret(trace_mem=True)
+        assert (1, 0x1000, False) in result.mem_trace
+        assert (2, 0x1008, True) in result.mem_trace
+
+    def test_trace_disabled_by_default(self):
+        assert build().interpret().mem_trace is None
